@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks backing the §VI ablation discussion:
+//!
+//! * warp-scan algorithms (HS vs Blelloch vs Ballot) — the Fig. 8 choice;
+//! * atomic-append vs compaction in the scan kernel — the "Occam's razor"
+//!   finding that plain `atomicAdd` wins on modern GPUs;
+//! * the h-index operator — MPM's inner loop;
+//! * CPU algorithms on a mid-size graph — Table IV in miniature;
+//! * GPU peel variants end-to-end on a small graph — Table II in miniature.
+//!
+//! Simulator benches measure *host* time of the simulation (useful for
+//! regression tracking); simulated-time comparisons live in the table
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcore_cpu::CoreAlgorithm;
+use kcore_gpu::{decompose, PeelConfig, SimOptions};
+use kcore_graph::gen;
+use kcore_gpusim::scan::{ballot_scan, blelloch_exclusive_scan, hs_inclusive_scan};
+use kcore_gpusim::{CostParams, GpuContext, LaunchConfig};
+use std::hint::black_box;
+
+fn bench_warp_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_scan");
+    group.bench_function("hillis_steele", |b| {
+        let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+        b.iter(|| {
+            ctx.launch("hs", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
+                let mut lanes = [1u32; 32];
+                hs_inclusive_scan(blk, black_box(&mut lanes));
+                black_box(lanes[31]);
+                Ok(())
+            })
+            .unwrap();
+        })
+    });
+    group.bench_function("blelloch", |b| {
+        let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+        b.iter(|| {
+            ctx.launch("bl", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
+                let mut lanes = [1u32; 32];
+                blelloch_exclusive_scan(blk, black_box(&mut lanes));
+                black_box(lanes[31]);
+                Ok(())
+            })
+            .unwrap();
+        })
+    });
+    group.bench_function("ballot", |b| {
+        let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+        b.iter(|| {
+            ctx.launch("ba", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
+                let flags = [true; 32];
+                let (off, total) = ballot_scan(blk, black_box(&flags));
+                black_box((off, total));
+                Ok(())
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_hindex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h_index");
+    for size in [8usize, 64, 512] {
+        let values: Vec<u32> = (0..size as u32).map(|i| (i * 37) % 97).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &values, |b, vals| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                kcore_cpu::hindex::h_index_bounded(
+                    black_box(vals.iter().copied()),
+                    vals.len() as u32,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_algorithms(c: &mut Criterion) {
+    let g = gen::rmat(14, 100_000, gen::RmatParams::graph500(), 99);
+    let mut group = c.benchmark_group("cpu_decomposition_rmat14");
+    group.sample_size(10);
+    let algs: Vec<Box<dyn CoreAlgorithm>> = vec![
+        Box::new(kcore_cpu::bz::Bz),
+        Box::new(kcore_cpu::park::SerialPark),
+        Box::new(kcore_cpu::park::ParallelPark::default()),
+        Box::new(kcore_cpu::pkc::SerialPkc),
+        Box::new(kcore_cpu::pkc::ParallelPkc::default()),
+        Box::new(kcore_cpu::pkc::ParallelPkcO::default()),
+        Box::new(kcore_cpu::mpm::SerialMpm),
+        Box::new(kcore_cpu::mpm::ParallelMpm),
+    ];
+    for alg in &algs {
+        group.bench_function(alg.name(), |b| b.iter(|| black_box(alg.run(&g))));
+    }
+    group.finish();
+}
+
+fn bench_gpu_variants(c: &mut Criterion) {
+    let g = gen::rmat(12, 20_000, gen::RmatParams::graph500(), 7);
+    let base = PeelConfig {
+        launch: LaunchConfig { blocks: 16, threads_per_block: 256 },
+        buf_capacity: 16_384,
+        shared_buf_capacity: 512,
+        ..PeelConfig::default()
+    };
+    let mut group = c.benchmark_group("gpu_peel_variants_rmat12");
+    group.sample_size(10);
+    for cfg in base.all_variants() {
+        group.bench_function(cfg.variant_name(), |b| {
+            b.iter(|| black_box(decompose(&g, &cfg, &SimOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_builder(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = {
+        let g = gen::rmat(13, 50_000, gen::RmatParams::mild(), 3);
+        g.edges().collect()
+    };
+    c.bench_function("csr_build_50k_edges", |b| {
+        b.iter(|| black_box(kcore_graph::builder::from_edges(1 << 13, black_box(&edges))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_warp_scans,
+    bench_hindex,
+    bench_cpu_algorithms,
+    bench_gpu_variants,
+    bench_graph_builder
+);
+criterion_main!(benches);

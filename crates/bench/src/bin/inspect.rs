@@ -1,0 +1,124 @@
+//! Diagnostic tool: breaks down where simulated time goes for each
+//! implementation on one graph. Not part of the paper's tables — used to
+//! understand/calibrate the cost model.
+//!
+//! ```bash
+//! cargo run --release -p kcore-bench --bin inspect [dataset-name]
+//! ```
+
+use kcore_bench::prepare;
+use kcore_gpusim::Counters;
+use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
+
+fn show(label: &str, ms: f64, iters: u64, c: &Counters, peak: u64) {
+    println!(
+        "{label:<14} {ms:>10.3} ms  iters={iters:<6} tx={:<9} sect={:<9} dep={:<8} atom={:<9} sh={:<9} instr={:<10} barr={:<7} peak={}MB",
+        c.global_tx,
+        c.global_sectors,
+        c.dependent_reads,
+        c.global_atomics,
+        c.shared_accesses + c.shared_atomics,
+        c.warp_instrs,
+        c.barriers,
+        peak / (1 << 20),
+    );
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "soc-LiveJournal1".into());
+    let d = kcore_graph::datasets::by_name(&name).expect("unknown dataset");
+    let e = prepare(d);
+    println!(
+        "{}: |V|={} |E|={} k_max={} scale=1/{:.0}\n",
+        e.dataset.name, e.stats.num_vertices, e.stats.num_edges, e.k_max, e.scale
+    );
+    let costs = FrameworkCosts::default().scaled(e.scale);
+
+    // Ours with per-kernel breakdown.
+    {
+        let mut ctx = e.sim.context();
+        let res = kcore_gpu::decompose_in(&mut ctx, &e.graph, &e.peel_cfg);
+        let rep = ctx.report();
+        match res {
+            Ok(_) => show("Ours", rep.total_ms, rep.launches, &rep.counters, rep.peak_mem_bytes),
+            Err(err) => println!("Ours: {err}"),
+        }
+        // aggregate per kernel name
+        let mut per: std::collections::BTreeMap<&str, (f64, u64)> = Default::default();
+        for l in ctx.launches() {
+            let e = per.entry(l.name).or_default();
+            e.0 += l.time_s * 1e3;
+            e.1 += 1;
+        }
+        for (k, (ms, n)) in per {
+            println!("    kernel {k:<10} {ms:>9.3} ms over {n} launches");
+        }
+        for l in ctx.launches().iter().filter(|l| l.name == "loop") {
+            println!(
+                "      loop launch: {:>9.1} us, max-block {:>10.0} cyc, mean-block {:>10.0} cyc",
+                l.time_s * 1e6,
+                l.max_block_cycles,
+                l.sum_block_cycles / l.blocks as f64
+            );
+        }
+    }
+    for cfgv in e.peel_cfg.all_variants() {
+        if cfgv.variant_name() == "Ours" {
+            continue;
+        }
+        match kcore_gpu::decompose(&e.graph, &cfgv, &e.sim) {
+            Ok(r) => show(cfgv.variant_name(), r.report.total_ms, r.report.launches, &r.report.counters, r.report.peak_mem_bytes),
+            Err(err) => println!("{}: {err}", cfgv.variant_name()),
+        }
+    }
+    {
+        let mut ctx = e.sim.context();
+        match gswitch::peel_in(&mut ctx, &e.graph, e.k_max, &costs) {
+            Ok((_, it)) => {
+                let r = ctx.report();
+                show("GSwitch", r.total_ms, it, &r.counters, r.peak_mem_bytes);
+            }
+            Err(err) => println!("GSwitch: {err}"),
+        }
+    }
+    {
+        let mut ctx = e.sim.context();
+        match gunrock::peel_in(&mut ctx, &e.graph, &costs) {
+            Ok((_, it)) => {
+                let r = ctx.report();
+                show("Gunrock", r.total_ms, it, &r.counters, r.peak_mem_bytes);
+            }
+            Err(err) => println!("Gunrock: {err}"),
+        }
+    }
+    {
+        let mut ctx = e.sim.context();
+        match vetga::peel_in(&mut ctx, &e.graph, &costs) {
+            Ok((_, it)) => {
+                let r = ctx.report();
+                show("VETGA", r.total_ms, it, &r.counters, r.peak_mem_bytes);
+            }
+            Err(err) => println!("VETGA: {err}"),
+        }
+    }
+    {
+        let mut ctx = e.sim.context();
+        match medusa::peel_in(&mut ctx, &e.graph, &costs) {
+            Ok((_, it)) => {
+                let r = ctx.report();
+                show("Medusa-Peel", r.total_ms, it, &r.counters, r.peak_mem_bytes);
+            }
+            Err(err) => println!("Medusa-Peel: {err}"),
+        }
+    }
+    {
+        let mut ctx = e.sim.context();
+        match medusa::mpm_in(&mut ctx, &e.graph, &costs) {
+            Ok((_, it)) => {
+                let r = ctx.report();
+                show("Medusa-MPM", r.total_ms, it, &r.counters, r.peak_mem_bytes);
+            }
+            Err(err) => println!("Medusa-MPM: {err}"),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Table II** (ablation study): simulated time of the nine
+//! peeling variants — Ours, SM, VP, BC, BC+SM, BC+VP, EC, EC+SM, EC+VP —
+//! on every dataset, avg ± std over `KCORE_RUNS` repetitions, best per row
+//! starred.
+//!
+//! Repetition variance is real: blocks race for k-shell vertices through
+//! `deg[]` atomics, so per-block work (and hence the SM makespan) differs
+//! across runs — the same effect that made the paper's GPU timings vary by
+//! up to 30%.
+
+use kcore_bench::{mark_best, prepare_all, print_table, runs, save_json, Cell};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    cells: Vec<(String, Cell)>,
+}
+
+fn main() {
+    let envs = prepare_all();
+    let reps = runs();
+    let variants = kcore_gpu::PeelConfig::default().all_variants();
+    let names: Vec<&'static str> = variants.iter().map(|v| v.variant_name()).collect();
+
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(names.iter().map(|n| n.to_string()));
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for e in &envs {
+        eprintln!("[table2] {} (|E|={}, {} runs)", e.dataset.name, e.stats.num_edges, reps);
+        let mut cells_txt = vec![e.dataset.name.to_string()];
+        let mut times = Vec::new();
+        let mut cells_json = Vec::new();
+        for base in &variants {
+            let cfg = kcore_gpu::PeelConfig {
+                compaction: base.compaction,
+                buffering: base.buffering,
+                ..e.peel_cfg
+            };
+            let mut ok_times = Vec::new();
+            let mut failure: Option<Cell> = None;
+            for rep in 0..reps {
+                // vary the hardware-scheduling seed per repetition — the
+                // source of the paper's observed run-to-run variance
+                let mut ctx = e.sim.context();
+                ctx.set_schedule_seed(rep as u64 + 1);
+                match kcore_gpu::decompose_in(&mut ctx, &e.graph, &cfg)
+                    .map(|(core, _)| (core, ctx.elapsed_ms()))
+                {
+                    Ok((core, ms)) => {
+                        assert_eq!(core, e.truth, "{} variant {}", e.dataset.name, cfg.variant_name());
+                        ok_times.push(ms);
+                    }
+                    Err(kcore_gpusim::SimError::TimeLimit { .. }) => {
+                        failure = Some(Cell::OverHour);
+                        break;
+                    }
+                    Err(kcore_gpusim::SimError::Oom(_)) => {
+                        failure = Some(Cell::Oom);
+                        break;
+                    }
+                    Err(err) => panic!("{}: {err}", e.dataset.name),
+                }
+            }
+            let cell = failure.unwrap_or_else(|| Cell::from_times(&ok_times));
+            times.push(cell.avg_ms());
+            cells_txt.push(cell.render(true));
+            cells_json.push((cfg.variant_name().to_string(), cell));
+        }
+        mark_best(&mut cells_txt[1..], &times);
+        rows.push(cells_txt);
+        json.push(Row { dataset: e.dataset.name.to_string(), cells: cells_json });
+    }
+    println!("\nTABLE II — ABLATION STUDY (simulated ms at dataset scale; avg±std over {reps} runs)\n");
+    print_table(&headers, &rows);
+    save_json("table2", &json);
+}

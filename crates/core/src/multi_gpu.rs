@@ -1,0 +1,370 @@
+//! Multi-GPU k-core decomposition — the paper's §VII future work, built out.
+//!
+//! > "we can partition a graph among worker GPUs running our kernels, but
+//! > degree updates of border vertices would be aggregated afterwards, which
+//! > can be computed at a master GPU. Moreover, the updates may cause new
+//! > border vertices to be in k-shell, so more than one round may be needed
+//! > to compute a k-shell."
+//!
+//! Design implemented here:
+//!
+//! * vertices are range-partitioned across `num_gpus` simulated devices;
+//!   each worker holds the CSR rows of its own vertices (edges to ghosts
+//!   included) plus a full-length degree array that is *authoritative only
+//!   for its own range*;
+//! * each peeling round `k` runs **sub-rounds**: every worker executes the
+//!   scan/loop kernels against its local vertices, applying the
+//!   decrement-and-recover protocol to local neighbors and *accumulating*
+//!   decrements destined for ghost vertices in a per-worker update buffer;
+//! * after the local loops drain, border updates are shipped to the owners
+//!   (master-aggregated, as the paper sketches): an owner applies the
+//!   aggregate decrements with a floor at `k` — a vertex that lands exactly
+//!   on `k` is seeded into the owner's next sub-round (the paper's "new
+//!   border vertices in the k-shell");
+//! * sub-rounds repeat until no worker produced border updates or seeds;
+//!   wall time per phase is the *max* over workers (they run concurrently)
+//!   plus the inter-GPU transfer cost of the update exchange.
+
+use crate::config::PeelConfig;
+use crate::peel;
+use kcore_graph::{Csr, GraphBuilder};
+use kcore_gpusim::{GpuContext, SimError, SimOptions};
+
+/// Configuration of a multi-GPU run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiGpuConfig {
+    /// Number of worker GPUs (each gets its own simulated device).
+    pub num_gpus: usize,
+    /// Kernel configuration used by every worker.
+    pub peel: PeelConfig,
+    /// Inter-GPU link bandwidth, bytes/s (PCIe peer-to-peer ≈ 10 GB/s on
+    /// the paper-era platform; NVLink would be ~40 GB/s).
+    pub link_bandwidth: f64,
+    /// Fixed per-exchange latency, seconds.
+    pub link_latency_s: f64,
+}
+
+impl Default for MultiGpuConfig {
+    fn default() -> Self {
+        MultiGpuConfig {
+            num_gpus: 4,
+            peel: PeelConfig::default(),
+            link_bandwidth: 10e9,
+            link_latency_s: 10e-6,
+        }
+    }
+}
+
+/// Result of a multi-GPU decomposition.
+#[derive(Debug, Clone)]
+pub struct MultiGpuRun {
+    /// Per-vertex core numbers.
+    pub core: Vec<u32>,
+    /// `max_v core(v)`.
+    pub k_max: u32,
+    /// Peeling rounds (`k_max + 1`).
+    pub rounds: u32,
+    /// Total sub-rounds across all rounds (> rounds when k-shells span
+    /// partition borders).
+    pub sub_rounds: u32,
+    /// Simulated wall time (max-over-workers per phase + exchanges), ms.
+    pub total_ms: f64,
+    /// Sum of worker device peaks, bytes.
+    pub total_peak_mem_bytes: u64,
+    /// Bytes exchanged between devices over the whole run.
+    pub exchanged_bytes: u64,
+}
+
+/// One worker's sub-round outcome (host-visible).
+struct WorkerState {
+    ctx: GpuContext,
+    /// This worker's vertex range in the global ID space.
+    lo: u32,
+    hi: u32,
+    /// Local subgraph: rows for `lo..hi` plus ghost stubs (ghosts have empty
+    /// adjacency; their degrees are tracked by their owners).
+    local: Csr,
+    /// Authoritative degrees for `lo..hi` (host mirror of the device state;
+    /// the simulated kernels operate on the device copy).
+    seeds: Vec<u32>,
+}
+
+/// Runs the distributed decomposition. `opts.device_capacity_bytes` is the
+/// capacity of *each* worker device.
+pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Result<MultiGpuRun, SimError> {
+    assert!(cfg.num_gpus >= 1);
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Ok(MultiGpuRun {
+            core: Vec::new(),
+            k_max: 0,
+            rounds: 0,
+            sub_rounds: 0,
+            total_ms: 0.0,
+            total_peak_mem_bytes: 0,
+            exchanged_bytes: 0,
+        });
+    }
+    let p = cfg.num_gpus.min(n);
+
+    // ---- partition & build local subgraphs -------------------------------
+    let mut workers: Vec<WorkerState> = Vec::with_capacity(p);
+    for w in 0..p {
+        let lo = (w * n / p) as u32;
+        let hi = ((w + 1) * n / p) as u32;
+        // Local subgraph keeps global IDs; rows outside [lo, hi) are empty.
+        let mut b = GraphBuilder::with_num_vertices(n as u32);
+        for v in lo..hi {
+            for &u in g.neighbors(v) {
+                b.add_edge(v, u);
+            }
+        }
+        let local = b.build();
+        workers.push(WorkerState { ctx: opts.context(), lo, hi, local, seeds: Vec::new() });
+    }
+
+    // Degrees: authoritative per owner; ghost degrees replicated read-only.
+    // Host-orchestrated state (the master's view).
+    let mut deg: Vec<u32> = g.degrees();
+    let mut core: Vec<u32> = vec![0; n];
+    let mut removed: Vec<bool> = vec![false; n];
+
+    let mut total_ms = 0.0f64;
+    let mut exchanged_bytes = 0u64;
+    let mut sub_rounds = 0u32;
+    let mut remaining = n;
+    let mut k = 0u32;
+    let mut rounds = 0u32;
+
+    while remaining > 0 {
+        rounds += 1;
+        // Seed each worker with its own degree-k vertices (the scan phase).
+        for w in workers.iter_mut() {
+            w.seeds.clear();
+            for v in w.lo..w.hi {
+                if !removed[v as usize] && deg[v as usize] == k {
+                    w.seeds.push(v);
+                }
+            }
+        }
+        // Charge each worker a scan kernel over its range (the scan cost of
+        // Algorithm 2, per worker, concurrent => max).
+        let mut scan_ms = 0.0f64;
+        for w in workers.iter_mut() {
+            let before = w.ctx.elapsed_ms();
+            let range = (w.hi - w.lo) as u64;
+            w.ctx.launch("mgpu_scan", cfg.peel.launch, |blk| {
+                let share = range / blk.cfg.blocks as u64 + 1;
+                blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(share));
+                blk.charge_instr(share.div_ceil(32));
+                Ok(())
+            })?;
+            scan_ms = scan_ms.max(w.ctx.elapsed_ms() - before);
+        }
+        total_ms += scan_ms;
+
+        // Sub-rounds: local loop phases + border exchange.
+        loop {
+            sub_rounds += 1;
+            let mut any_seeds = false;
+            // ghost decrement accumulator: (owner range) counts
+            let mut ghost_cnt: Vec<u32> = vec![0; n];
+            let mut loop_ms = 0.0f64;
+
+            for w in workers.iter_mut() {
+                if w.seeds.is_empty() {
+                    continue;
+                }
+                any_seeds = true;
+                let before = w.ctx.elapsed_ms();
+                // Local BFS loop (host-orchestrated mirror of Algorithm 3,
+                // charged as a loop kernel on the worker's device).
+                let mut queue = std::mem::take(&mut w.seeds);
+                let mut qi = 0usize;
+                let mut arcs_walked = 0u64;
+                while qi < queue.len() {
+                    let v = queue[qi];
+                    qi += 1;
+                    removed[v as usize] = true;
+                    core[v as usize] = k;
+                    arcs_walked += w.local.degree(v) as u64;
+                    for &u in w.local.neighbors(v) {
+                        if u >= w.lo && u < w.hi {
+                            // local neighbor: standard decrement
+                            if !removed[u as usize] && deg[u as usize] > k {
+                                deg[u as usize] -= 1;
+                                if deg[u as usize] == k {
+                                    queue.push(u);
+                                }
+                            }
+                        } else {
+                            // ghost: defer to the owner via the master
+                            ghost_cnt[u as usize] += 1;
+                        }
+                    }
+                }
+                remaining -= queue.len();
+                // Charge the worker's loop kernel: frontier reads + arc walk.
+                let q = queue.len() as u64;
+                w.ctx.launch("mgpu_loop", cfg.peel.launch, |blk| {
+                    let blocks = blk.cfg.blocks as u64;
+                    blk.charge_sector(q / blocks + 1); // frontier fetches
+                    blk.counters.dependent_reads += q / blocks + 1;
+                    blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(arcs_walked / blocks + 1));
+                    blk.charge_sector(arcs_walked / blocks + 1); // deg probes
+                    blk.counters.global_atomics += arcs_walked / blocks + 1;
+                    Ok(())
+                })?;
+                loop_ms = loop_ms.max(w.ctx.elapsed_ms() - before);
+            }
+            total_ms += loop_ms;
+            if !any_seeds {
+                break;
+            }
+
+            // ---- border exchange through the master -----------------------
+            let updates: Vec<(u32, u32)> = ghost_cnt
+                .iter()
+                .enumerate()
+                .filter_map(|(v, &c)| (c > 0).then_some((v as u32, c)))
+                .collect();
+            if !updates.is_empty() {
+                // each update is (vertex, count): 8 bytes, shipped worker →
+                // master → owner (two hops, as the paper sketches).
+                let bytes = updates.len() as u64 * 8 * 2;
+                exchanged_bytes += bytes;
+                total_ms +=
+                    (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
+                for &(v, cnt) in &updates {
+                    if removed[v as usize] {
+                        continue;
+                    }
+                    // apply with a floor at k (Fig. 6 Case-1 recovery)
+                    let dv = &mut deg[v as usize];
+                    let applicable = (*dv).saturating_sub(k).min(cnt);
+                    *dv -= applicable;
+                    // seed only on the crossing itself (applicable > 0), so
+                    // a vertex already waiting in a seed list is not
+                    // re-seeded by a later exchange
+                    if applicable > 0 && *dv == k {
+                        // new border k-shell vertex: seed its owner
+                        let owner = workers
+                            .iter_mut()
+                            .find(|w| v >= w.lo && v < w.hi)
+                            .expect("vertex has an owner");
+                        owner.seeds.push(v);
+                    }
+                }
+            }
+            // continue sub-rounds while seeds remain
+            if workers.iter().all(|w| w.seeds.is_empty()) {
+                break;
+            }
+        }
+        k += 1;
+        if k as usize > n + 1 {
+            return Err(SimError::Kernel(kcore_gpusim::KernelError::Other(
+                "multi-GPU peeling did not converge".into(),
+            )));
+        }
+    }
+
+    let k_max = core.iter().copied().max().unwrap_or(0);
+    let total_peak_mem_bytes = workers
+        .iter()
+        .map(|w| {
+            // device footprint: local CSR rows + deg + buffers (charged as
+            // an accounting allocation so peaks are comparable)
+            w.ctx.device.peak_bytes()
+                + (w.local.num_arcs() + n as u64 + cfg.peel.buf_capacity as u64) * 4
+        })
+        .sum();
+    Ok(MultiGpuRun { core, k_max, rounds, sub_rounds, total_ms, total_peak_mem_bytes, exchanged_bytes })
+}
+
+/// Convenience: single-device reference via [`peel::decompose`] for
+/// comparing against the distributed run.
+pub fn single_gpu_ms(g: &Csr, cfg: &PeelConfig, opts: &SimOptions) -> Result<f64, SimError> {
+    Ok(peel::decompose(g, cfg, opts)?.report.total_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_cpu::CoreAlgorithm;
+    use kcore_graph::gen;
+    use kcore_gpusim::LaunchConfig;
+
+    fn cfg(p: usize) -> MultiGpuConfig {
+        MultiGpuConfig {
+            num_gpus: p,
+            peel: PeelConfig {
+                launch: LaunchConfig { blocks: 8, threads_per_block: 128 },
+                buf_capacity: 8_192,
+                ..PeelConfig::default()
+            },
+            ..MultiGpuConfig::default()
+        }
+    }
+
+    fn check(g: &Csr, p: usize) {
+        let run = decompose_multi(g, &cfg(p), &SimOptions::default()).unwrap();
+        let expect = kcore_cpu::bz::Bz.run(g);
+        assert_eq!(run.core, expect, "{p} GPUs");
+        assert_eq!(run.k_max, expect.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn fig1_on_various_gpu_counts() {
+        let g = kcore_graph::fig1_graph();
+        for p in [1, 2, 3, 4, 8] {
+            check(&g, p);
+        }
+    }
+
+    #[test]
+    fn random_graphs() {
+        for seed in 0..3 {
+            let g = gen::erdos_renyi_gnm(400, 1_600, seed);
+            check(&g, 4);
+        }
+    }
+
+    #[test]
+    fn skewed_and_structured() {
+        check(&gen::power_law_hubs(1_000, 2_000, 2, 0.2, 6), 4);
+        check(&gen::complete(30), 3);
+        check(&gen::path(200), 5);
+    }
+
+    #[test]
+    fn border_shells_need_extra_sub_rounds() {
+        // A path crosses every partition border, so its single 1-shell
+        // cascade must bounce between workers: sub_rounds > rounds.
+        let g = gen::path(400);
+        let run = decompose_multi(&g, &cfg(4), &SimOptions::default()).unwrap();
+        assert_eq!(run.core, vec![1; 400]);
+        assert!(run.sub_rounds > run.rounds, "{} !> {}", run.sub_rounds, run.rounds);
+        assert!(run.exchanged_bytes > 0);
+    }
+
+    #[test]
+    fn one_gpu_needs_no_exchange() {
+        let g = gen::erdos_renyi_gnm(300, 900, 1);
+        let run = decompose_multi(&g, &cfg(1), &SimOptions::default()).unwrap();
+        assert_eq!(run.exchanged_bytes, 0);
+    }
+
+    #[test]
+    fn more_gpus_than_vertices() {
+        let g = gen::complete(3);
+        let run = decompose_multi(&g, &cfg(16), &SimOptions::default()).unwrap();
+        assert_eq!(run.core, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let run = decompose_multi(&Csr::empty(0), &cfg(2), &SimOptions::default()).unwrap();
+        assert!(run.core.is_empty());
+    }
+}

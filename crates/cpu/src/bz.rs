@@ -1,0 +1,158 @@
+//! Batagelj–Zaversnik (BZ) serial peeling — the linear-time reference.
+//!
+//! BZ repeatedly removes a vertex of minimum degree; the key contribution is
+//! the O(m) implementation with four arrays (the paper points to §II-A of
+//! ParK for the details):
+//!
+//! * `vert` — vertices sorted by current degree (bucket order),
+//! * `pos`  — `pos[v]` is `v`'s position in `vert`,
+//! * `bin`  — `bin[d]` is the start index in `vert` of the bucket of
+//!   degree-`d` vertices,
+//! * `deg`  — current degrees.
+//!
+//! When a vertex is peeled, each neighbor with a larger current degree is
+//! swapped to the front of its bucket and the bucket boundary advances —
+//! an O(1) "decrease-degree" operation.
+
+use crate::CoreAlgorithm;
+use kcore_graph::Csr;
+
+/// The serial BZ algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bz;
+
+impl CoreAlgorithm for Bz {
+    fn name(&self) -> &'static str {
+        "BZ"
+    }
+
+    fn run(&self, g: &Csr) -> Vec<u32> {
+        core_numbers(g)
+    }
+}
+
+/// Computes core numbers with the 4-array bucket peeling.
+pub fn core_numbers(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg = g.degrees();
+    let md = g.max_degree() as usize;
+
+    // bin[d] = number of vertices of degree d, then prefix-summed to starts.
+    let mut bin = vec![0usize; md + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut().take(md + 1) {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    bin[md + 1] = n;
+
+    // Bucket-sort vertices by degree.
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+
+    // Peel in degree order.
+    for i in 0..n {
+        let v = vert[i] as usize;
+        let dv = deg[v];
+        for j in g.offsets()[v] as usize..g.offsets()[v + 1] as usize {
+            let u = g.neighbor_array()[j] as usize;
+            if deg[u] > dv {
+                // Move u to the front of its bucket, shrink the bucket.
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    // After peeling, deg[v] has converged to core(v).
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::{fig1_core_numbers, fig1_graph, gen};
+
+    #[test]
+    fn fig1() {
+        assert_eq!(core_numbers(&fig1_graph()), fig1_core_numbers());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(core_numbers(&Csr::empty(0)), Vec::<u32>::new());
+        assert_eq!(core_numbers(&Csr::empty(3)), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = gen::complete(6);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+    }
+
+    #[test]
+    fn cycle_is_2core() {
+        assert_eq!(core_numbers(&gen::cycle(10)), vec![2; 10]);
+    }
+
+    #[test]
+    fn path_is_1core() {
+        assert_eq!(core_numbers(&gen::path(5)), vec![1; 5]);
+    }
+
+    #[test]
+    fn star_is_1core() {
+        assert_eq!(core_numbers(&gen::star(9)), vec![1; 10]);
+    }
+
+    #[test]
+    fn bipartite_core_is_min_side() {
+        assert_eq!(core_numbers(&gen::complete_bipartite(3, 7)), vec![3; 10]);
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // K4 (0-3) + path 3-4-5: tail is 1-shell.
+        let mut b = kcore_graph::GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        assert_eq!(core_numbers(&b.build()), vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn matches_quadratic_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::erdos_renyi_gnm(300, 900, seed);
+            assert_eq!(core_numbers(&g), crate::verify::reference_core_numbers(&g), "seed {seed}");
+        }
+    }
+}

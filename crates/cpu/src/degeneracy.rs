@@ -1,0 +1,212 @@
+//! Degeneracy ordering and the "lightweight preprocessing" applications the
+//! paper's introduction motivates: k-core decomposition "often serves as an
+//! effective lightweight preprocessing to prune unpromising vertices when
+//! computing denser structures" (cliques, quasi-cliques, k-plexes).
+//!
+//! * [`degeneracy_order`] — the smallest-last vertex ordering (Matula &
+//!   Beck): peel minimum-degree vertices; the reverse order makes every
+//!   vertex have at most `k_max` later neighbors.
+//! * [`greedy_coloring_bound`] — coloring along the degeneracy order uses at
+//!   most `k_max + 1` colors.
+//! * [`prune_for_clique`] — the classic pruning: a clique of size `q` lives
+//!   entirely inside the `(q-1)`-core.
+
+use crate::bz;
+use kcore_graph::Csr;
+
+/// The degeneracy (smallest-last) ordering: repeatedly remove a vertex of
+/// minimum remaining degree. Returns `(order, degeneracy)` where
+/// `order[i]` is the i-th removed vertex and `degeneracy == k_max`.
+pub fn degeneracy_order(g: &Csr) -> (Vec<u32>, u32) {
+    // BZ's bucket structure already peels in exactly this order; re-run it
+    // here tracking the order explicitly.
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut deg = g.degrees();
+    let md = g.max_degree() as usize;
+    let mut bin = vec![0usize; md + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut().take(md + 1) {
+        let c = *b;
+        *b = start;
+        start += c;
+    }
+    bin[md + 1] = n;
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            vert[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+    let mut degeneracy = 0u32;
+    for i in 0..n {
+        let v = vert[i] as usize;
+        degeneracy = degeneracy.max(deg[v]);
+        for j in g.offsets()[v] as usize..g.offsets()[v + 1] as usize {
+            let u = g.neighbor_array()[j] as usize;
+            if deg[u] > deg[v] {
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    (vert, degeneracy)
+}
+
+/// Greedy coloring along the degeneracy order (processed in *reverse* removal
+/// order, so each vertex sees at most `degeneracy` colored neighbors).
+/// Returns `(colors, num_colors)` with `num_colors <= degeneracy + 1`.
+pub fn greedy_coloring_bound(g: &Csr) -> (Vec<u32>, u32) {
+    let (order, _) = degeneracy_order(g);
+    let n = g.num_vertices() as usize;
+    let mut color = vec![u32::MAX; n];
+    let mut used: Vec<bool> = Vec::new();
+    for &v in order.iter().rev() {
+        used.clear();
+        used.resize(g.degree(v) as usize + 1, false);
+        for &u in g.neighbors(v) {
+            let c = color[u as usize];
+            if c != u32::MAX && (c as usize) < used.len() {
+                used[c as usize] = true;
+            }
+        }
+        let c = used.iter().position(|&b| !b).expect("a free color exists") as u32;
+        color[v as usize] = c;
+    }
+    let num = color.iter().copied().max().map(|c| c + 1).unwrap_or(0);
+    (color, num)
+}
+
+/// Prunes the graph for q-clique search: returns the vertices of the
+/// `(q-1)`-core — any clique of `q` vertices is contained in it — together
+/// with the survival ratio, the quantity that makes core decomposition a
+/// worthwhile preprocessing step.
+pub fn prune_for_clique(g: &Csr, q: u32) -> (Vec<u32>, f64) {
+    assert!(q >= 1);
+    let core = bz::core_numbers(g);
+    let survivors: Vec<u32> = core
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &c)| (c + 1 >= q).then_some(v as u32))
+        .collect();
+    let ratio = if g.num_vertices() == 0 {
+        0.0
+    } else {
+        survivors.len() as f64 / g.num_vertices() as f64
+    };
+    (survivors, ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn order_is_a_permutation_and_degeneracy_is_kmax() {
+        let g = gen::rmat(8, 700, gen::RmatParams::graph500(), 2);
+        let (order, d) = degeneracy_order(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.num_vertices()).collect::<Vec<_>>());
+        let core = bz::core_numbers(&g);
+        assert_eq!(d, core.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn reverse_order_bounds_later_neighbors() {
+        // definitional property: in reverse removal order, every vertex has
+        // at most `degeneracy` neighbors that come before it.
+        let g = gen::erdos_renyi_gnm(200, 800, 9);
+        let (order, d) = degeneracy_order(&g);
+        let mut rank = vec![0usize; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i;
+        }
+        for v in 0..g.num_vertices() {
+            let later = g.neighbors(v).iter().filter(|&&u| rank[u as usize] > rank[v as usize]).count();
+            assert!(later as u32 <= d, "vertex {v} has {later} later neighbors > degeneracy {d}");
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper_and_bounded() {
+        let g = gen::rmat(8, 900, gen::RmatParams::mild(), 5);
+        let (colors, num) = greedy_coloring_bound(&g);
+        let (_, d) = degeneracy_order(&g);
+        assert!(num <= d + 1, "{num} colors > degeneracy {d} + 1");
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize], "edge {u}-{v} monochromatic");
+        }
+    }
+
+    #[test]
+    fn bipartite_two_colorable() {
+        let g = gen::complete_bipartite(5, 7);
+        let (_, num) = greedy_coloring_bound(&g);
+        assert!(num <= 6); // degeneracy 5 bound; actual greedy often finds 2
+        let (colors, _) = greedy_coloring_bound(&g);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize]);
+        }
+    }
+
+    #[test]
+    fn clique_pruning_keeps_the_clique() {
+        // plant a K8 in sparse noise; prune for q=8 keeps all 8 members
+        let noise = gen::erdos_renyi_gnm(500, 700, 3);
+        let g = gen::plant_clique(&noise, 8, 4);
+        let (survivors, ratio) = prune_for_clique(&g, 8);
+        assert!(survivors.len() >= 8);
+        assert!(ratio < 0.5, "pruning should remove most of the sparse noise, kept {ratio}");
+        // the survivors' induced subgraph still contains an 8-clique: check
+        // that at least 8 survivors are mutually adjacent is expensive;
+        // instead verify every vertex of the planted clique survived by the
+        // core property (core >= 7).
+        let core = bz::core_numbers(&g);
+        let deep = core.iter().filter(|&&c| c >= 7).count();
+        assert!(deep >= 8);
+        for &s in &survivors {
+            assert!(core[s as usize] >= 7);
+        }
+    }
+
+    #[test]
+    fn prune_degenerate_inputs() {
+        let empty = kcore_graph::Csr::empty(0);
+        assert_eq!(prune_for_clique(&empty, 3).0.len(), 0);
+        // q = 1: everything survives (every vertex is a 1-clique)
+        let mut b = GraphBuilder::with_num_vertices(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let (s, r) = prune_for_clique(&g, 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn empty_graph_order() {
+        let (order, d) = degeneracy_order(&kcore_graph::Csr::empty(0));
+        assert!(order.is_empty());
+        assert_eq!(d, 0);
+    }
+}

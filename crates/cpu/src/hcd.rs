@@ -1,0 +1,330 @@
+//! Hierarchical core decomposition (HCD) — the related-work extension the
+//! paper surveys in §II-C.
+//!
+//! HCD organizes the k-core *connected components* of a graph into a forest:
+//! each tree node is a connected component of some k-core, and a node's
+//! parent is the (k-1)-core component containing it. Computable in linear
+//! time given core numbers (Matula & Beck); it supports queries like "the
+//! best k-core component containing v".
+//!
+//! Construction: process vertices in *decreasing* core-number order with a
+//! union–find. When vertex v (core k) arrives, union it with already-placed
+//! neighbors; components created while processing level k are the k-core
+//! components.
+
+use kcore_graph::Csr;
+
+/// One node of the core hierarchy forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HcdNode {
+    /// The level: this node is a connected component of the k-core for this k.
+    pub k: u32,
+    /// Parent node index in [`CoreHierarchy::nodes`] (None for roots,
+    /// i.e. components of the 0-core / connected components of G plus
+    /// isolated vertices).
+    pub parent: Option<usize>,
+    /// Vertices whose *own* core number is `k` and whose k-shell membership
+    /// attaches them at this node (vertices of deeper cores live in
+    /// descendant nodes).
+    pub vertices: Vec<u32>,
+}
+
+/// The full core hierarchy of a graph.
+#[derive(Debug, Clone)]
+pub struct CoreHierarchy {
+    /// Forest nodes; children always appear after their parents is *not*
+    /// guaranteed — use [`HcdNode::parent`] links.
+    pub nodes: Vec<HcdNode>,
+    /// For each vertex, the index of its attachment node.
+    pub vertex_node: Vec<usize>,
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+    // current hierarchy node represented by each DSU root
+    node_of_root: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), node_of_root: vec![usize::MAX; n] }
+    }
+    fn find(&mut self, v: u32) -> u32 {
+        let mut v = v;
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        // attach smaller id under larger arbitrarily (rank-free is fine with
+        // path halving at this scale)
+        self.parent[rb as usize] = ra;
+        ra
+    }
+}
+
+/// Builds the core hierarchy from a graph and its core numbers.
+pub fn build_hierarchy(g: &Csr, core: &[u32]) -> CoreHierarchy {
+    let n = g.num_vertices() as usize;
+    assert_eq!(core.len(), n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| core[b as usize].cmp(&core[a as usize]));
+
+    let mut dsu = Dsu::new(n);
+    let mut placed = vec![false; n];
+    let mut nodes: Vec<HcdNode> = Vec::new();
+    let mut vertex_node = vec![usize::MAX; n];
+
+    let mut i = 0usize;
+    while i < n {
+        let k = core[order[i] as usize];
+        // place all vertices of this core level
+        let level_start = i;
+        while i < n && core[order[i] as usize] == k {
+            let v = order[i];
+            placed[v as usize] = true;
+            i += 1;
+        }
+        // union with placed neighbors
+        for &v in &order[level_start..i] {
+            for &u in g.neighbors(v) {
+                if placed[u as usize] {
+                    let ra = dsu.find(v);
+                    let rb = dsu.find(u);
+                    if ra != rb {
+                        let na = dsu.node_of_root[ra as usize];
+                        let nb = dsu.node_of_root[rb as usize];
+                        let r = dsu.union(ra, rb);
+                        // merged component at level k: its node is created
+                        // lazily below; existing child nodes (higher k) will
+                        // get this as parent then.
+                        dsu.node_of_root[r as usize] = usize::MAX;
+                        // remember children to re-parent via a merge node
+                        // (handled after node creation below)
+                        let _ = (na, nb);
+                    }
+                }
+            }
+        }
+        // create one node per component that exists at this level, and
+        // re-parent the previous (deeper) nodes of merged roots.
+        // Strategy: for every root whose component contains a level-k vertex
+        // or spans multiple previous nodes, make a level-k node.
+        // First pass: collect roots touched at this level.
+        let mut root_to_new: rustc_hash::FxHashMap<u32, usize> = rustc_hash::FxHashMap::default();
+        for &v in &order[level_start..i] {
+            let r = dsu.find(v);
+            let node_idx = *root_to_new.entry(r).or_insert_with(|| {
+                nodes.push(HcdNode { k, parent: None, vertices: Vec::new() });
+                nodes.len() - 1
+            });
+            nodes[node_idx].vertices.push(v);
+            vertex_node[v as usize] = node_idx;
+        }
+        // Re-parent: any previous node whose root merged into a touched root
+        // becomes a child of the new node. We detect this by walking all
+        // roots' node assignments: a root r with node_of_root == some old
+        // node but now find(r)!=r ... simpler: walk every existing deeper
+        // node's representative vertex.
+        for idx in 0..nodes.len() {
+            if nodes[idx].k > k && nodes[idx].parent.is_none() {
+                let rep = nodes[idx].vertices[0];
+                let r = dsu.find(rep);
+                if let Some(&newn) = root_to_new.get(&r) {
+                    nodes[idx].parent = Some(newn);
+                }
+            }
+        }
+        // update node_of_root for touched roots
+        for (&r, &nidx) in &root_to_new {
+            dsu.node_of_root[r as usize] = nidx;
+        }
+    }
+    CoreHierarchy { nodes, vertex_node }
+}
+
+impl CoreHierarchy {
+    /// The vertices of the connected k-core component rooted at `node`
+    /// (that node's own shell vertices plus all descendants').
+    pub fn component_vertices(&self, node: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        // collect descendants by scanning parent links (forest is small)
+        let mut in_subtree = vec![false; self.nodes.len()];
+        in_subtree[node] = true;
+        // nodes were created level-by-level from deepest k to shallowest, so
+        // parents are created *after* children; iterate repeatedly until fixed.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, nd) in self.nodes.iter().enumerate() {
+                if !in_subtree[i] {
+                    if let Some(p) = nd.parent {
+                        if in_subtree[p] {
+                            in_subtree[i] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, nd) in self.nodes.iter().enumerate() {
+            if in_subtree[i] {
+                out.extend_from_slice(&nd.vertices);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of nodes at level k.
+    pub fn components_at(&self, k: u32) -> usize {
+        self.nodes.iter().filter(|n| n.k == k).count()
+    }
+
+    /// Finds the "best" k-core component by edge density (the §II-C
+    /// related-work problem of Chu et al., "Finding the best k in core
+    /// decomposition"): scans every connected k-core component in the
+    /// hierarchy and returns `(node index, density)` of the densest, where
+    /// density = `|E(C)| / |C|` of the induced component. Returns `None`
+    /// for an edgeless graph.
+    pub fn densest_core(&self, g: &kcore_graph::Csr) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].k == 0 {
+                continue;
+            }
+            let members = self.component_vertices(idx);
+            if members.is_empty() {
+                continue;
+            }
+            let member_set: rustc_hash::FxHashSet<u32> = members.iter().copied().collect();
+            let mut edges = 0u64;
+            for &v in &members {
+                for &u in g.neighbors(v) {
+                    if v < u && member_set.contains(&u) {
+                        edges += 1;
+                    }
+                }
+            }
+            let density = edges as f64 / members.len() as f64;
+            if best.is_none_or(|(_, d)| density > d) {
+                best = Some((idx, density));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz;
+    use kcore_graph::{fig1_graph, GraphBuilder};
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let core = bz::core_numbers(&g);
+        let h = build_hierarchy(&g, &core);
+        // two 2-core components
+        assert_eq!(h.components_at(2), 2);
+        let n0 = h.vertex_node[0];
+        let n3 = h.vertex_node[3];
+        assert_ne!(n0, n3);
+        assert_eq!(h.component_vertices(n0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_cores_form_chain() {
+        // K4 + pendant path: 3-core {0..3} inside 1-core {0..5}
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let core = bz::core_numbers(&g);
+        let h = build_hierarchy(&g, &core);
+        assert_eq!(h.components_at(3), 1);
+        assert_eq!(h.components_at(1), 1);
+        // the 3-core node's parent chain reaches the 1-core node
+        let deep = h.vertex_node[0];
+        let shallow = h.vertex_node[4];
+        assert_eq!(h.nodes[deep].k, 3);
+        assert_eq!(h.nodes[shallow].k, 1);
+        let mut cur = Some(deep);
+        let mut reached = false;
+        while let Some(c) = cur {
+            if c == shallow {
+                reached = true;
+                break;
+            }
+            cur = h.nodes[c].parent;
+        }
+        assert!(reached, "3-core component must nest inside the 1-core component");
+        // full component at the shallow node is everything
+        assert_eq!(h.component_vertices(shallow), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fig1_hierarchy() {
+        let g = fig1_graph();
+        let core = bz::core_numbers(&g);
+        let h = build_hierarchy(&g, &core);
+        // one component at each level 1..3 (Fig. 1's nested cores)
+        assert_eq!(h.components_at(3), 1);
+        assert!(h.components_at(2) >= 1);
+        assert!(h.components_at(1) >= 1);
+        // every vertex attached somewhere
+        assert!(h.vertex_node.iter().all(|&i| i != usize::MAX));
+    }
+
+    #[test]
+    fn densest_core_prefers_the_clique() {
+        // K6 + a sparse ring: the densest component is the clique's level-5
+        // node (density 2.5) rather than the ring (density 1).
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.add_edge(u, v);
+            }
+        }
+        for i in 6..16u32 {
+            b.add_edge(i, if i == 15 { 6 } else { i + 1 });
+        }
+        let g = b.build();
+        let core = bz::core_numbers(&g);
+        let h = build_hierarchy(&g, &core);
+        let (node, density) = h.densest_core(&g).unwrap();
+        assert_eq!(h.nodes[node].k, 5);
+        assert!((density - 2.5).abs() < 1e-9, "density {density}");
+    }
+
+    #[test]
+    fn densest_core_none_on_edgeless() {
+        let g = kcore_graph::Csr::empty(4);
+        let h = build_hierarchy(&g, &[0; 4]);
+        assert!(h.densest_core(&g).is_none());
+    }
+
+    #[test]
+    fn isolated_vertices_get_zero_nodes() {
+        let g = kcore_graph::Csr::empty(3);
+        let h = build_hierarchy(&g, &[0, 0, 0]);
+        assert_eq!(h.components_at(0), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! Incremental k-core maintenance under edge insertions/deletions — the
+//! streaming setting the paper surveys in §II-C (Sariyüce et al., VLDB'13)
+//! and the motivation for "lightning fast" decomposition of evolving
+//! networks in the §VI case study.
+//!
+//! Both update algorithms are *localized*: after inserting or deleting an
+//! edge `{u, v}` with `K = min(core(u), core(v))`, only vertices with core
+//! number exactly `K` inside the **subcore** of the affected endpoints —
+//! the K-class connected component through edges between core-`K` vertices —
+//! can change, and by at most 1 (the classic theorems of the streaming
+//! k-core literature). The traversal algorithms below visit just that
+//! subcore instead of re-running a full decomposition.
+
+use crate::bz;
+use kcore_graph::{Csr, GraphBuilder};
+use rustc_hash::FxHashMap;
+use rustc_hash::FxHashSet;
+
+/// A mutable graph with continuously maintained core numbers.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<u32>>,
+    core: Vec<u32>,
+}
+
+impl DynamicGraph {
+    /// An edgeless graph on `n` vertices (all cores 0).
+    pub fn new(n: usize) -> Self {
+        DynamicGraph { adj: vec![Vec::new(); n], core: vec![0; n] }
+    }
+
+    /// Imports a static graph and computes its decomposition once (BZ).
+    pub fn from_csr(g: &Csr) -> Self {
+        let n = g.num_vertices() as usize;
+        let adj = (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        DynamicGraph { adj, core: bz::core_numbers(g) }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.adj[v as usize].len() as u32
+    }
+
+    /// Current core number of `v`.
+    pub fn core(&self, v: u32) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// All current core numbers.
+    pub fn cores(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// Exports the current graph (for cross-checking).
+    pub fn to_csr(&self) -> Csr {
+        let mut b = GraphBuilder::with_num_vertices(self.adj.len() as u32);
+        for (v, ns) in self.adj.iter().enumerate() {
+            for &u in ns {
+                if (v as u32) < u {
+                    b.add_edge(v as u32, u);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn add_adj(&mut self, u: u32, v: u32) {
+        let list = &mut self.adj[u as usize];
+        let pos = list.binary_search(&v).unwrap_err();
+        list.insert(pos, v);
+    }
+
+    fn del_adj(&mut self, u: u32, v: u32) {
+        let list = &mut self.adj[u as usize];
+        let pos = list.binary_search(&v).expect("edge present");
+        list.remove(pos);
+    }
+
+    /// The subcore of `roots`: core-`k` vertices connected to a root through
+    /// edges whose both endpoints have core `k`.
+    fn subcore(&self, roots: &[u32], k: u32) -> Vec<u32> {
+        let mut seen = FxHashSet::default();
+        let mut queue: Vec<u32> = Vec::new();
+        for &r in roots {
+            if self.core[r as usize] == k && seen.insert(r) {
+                queue.push(r);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let w = queue[qi];
+            qi += 1;
+            for &x in &self.adj[w as usize] {
+                if self.core[x as usize] == k && seen.insert(x) {
+                    queue.push(x);
+                }
+            }
+        }
+        queue
+    }
+
+    /// Inserts edge `{u, v}` and repairs the core numbers. Returns `false`
+    /// (and changes nothing) for self-loops or already-present edges.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() || self.has_edge(u, v)
+        {
+            return false;
+        }
+        self.add_adj(u, v);
+        self.add_adj(v, u);
+
+        let k = self.core[u as usize].min(self.core[v as usize]);
+        let roots: Vec<u32> =
+            [u, v].into_iter().filter(|&w| self.core[w as usize] == k).collect();
+        // Candidates: the subcore of the roots. Only they can rise to k+1.
+        let candidates = self.subcore(&roots, k);
+        let cand_set: FxHashSet<u32> = candidates.iter().copied().collect();
+
+        // Support of w toward level k+1: neighbors already above k, plus
+        // candidate neighbors (which may rise together with w).
+        let mut support: FxHashMap<u32, u32> = FxHashMap::default();
+        for &w in &candidates {
+            let s = self.adj[w as usize]
+                .iter()
+                .filter(|&&x| self.core[x as usize] > k || cand_set.contains(&x))
+                .count() as u32;
+            support.insert(w, s);
+        }
+        // Iteratively evict candidates that cannot reach k+1 support.
+        let mut evicted: FxHashSet<u32> = FxHashSet::default();
+        let mut stack: Vec<u32> =
+            candidates.iter().copied().filter(|w| support[w] <= k).collect();
+        for &w in &stack {
+            evicted.insert(w);
+        }
+        while let Some(w) = stack.pop() {
+            for &x in &self.adj[w as usize] {
+                if cand_set.contains(&x) && !evicted.contains(&x) {
+                    let s = support.get_mut(&x).expect("candidate has support");
+                    *s -= 1;
+                    if *s <= k {
+                        evicted.insert(x);
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+        for &w in &candidates {
+            if !evicted.contains(&w) {
+                self.core[w as usize] = k + 1;
+            }
+        }
+        true
+    }
+
+    /// Removes edge `{u, v}` and repairs the core numbers. Returns `false`
+    /// if the edge was absent.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() || !self.has_edge(u, v)
+        {
+            return false;
+        }
+        self.del_adj(u, v);
+        self.del_adj(v, u);
+
+        let k = self.core[u as usize].min(self.core[v as usize]);
+        if k == 0 {
+            return true; // isolated endpoints cannot drop below 0
+        }
+        let roots: Vec<u32> =
+            [u, v].into_iter().filter(|&w| self.core[w as usize] == k).collect();
+        let candidates = self.subcore(&roots, k);
+        let cand_set: FxHashSet<u32> = candidates.iter().copied().collect();
+
+        // Support of w toward keeping level k: neighbors with core >= k
+        // (drops as candidate neighbors fall to k-1).
+        let mut support: FxHashMap<u32, u32> = FxHashMap::default();
+        for &w in &candidates {
+            let s = self.adj[w as usize].iter().filter(|&&x| self.core[x as usize] >= k).count()
+                as u32;
+            support.insert(w, s);
+        }
+        let mut dropped: FxHashSet<u32> = FxHashSet::default();
+        let mut stack: Vec<u32> =
+            candidates.iter().copied().filter(|w| support[w] < k).collect();
+        for &w in &stack {
+            dropped.insert(w);
+        }
+        while let Some(w) = stack.pop() {
+            self.core[w as usize] = k - 1;
+            for &x in &self.adj[w as usize] {
+                if cand_set.contains(&x) && !dropped.contains(&x) {
+                    let s = support.get_mut(&x).expect("candidate has support");
+                    *s -= 1;
+                    if *s < k {
+                        dropped.insert(x);
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_cores_fresh(dg: &DynamicGraph, label: &str) {
+        let expect = bz::core_numbers(&dg.to_csr());
+        assert_eq!(dg.cores(), &expect[..], "{label}");
+    }
+
+    #[test]
+    fn build_triangle_incrementally() {
+        let mut dg = DynamicGraph::new(3);
+        assert!(dg.insert_edge(0, 1));
+        assert_eq!(dg.cores(), &[1, 1, 0]);
+        assert!(dg.insert_edge(1, 2));
+        assert_eq!(dg.cores(), &[1, 1, 1]);
+        assert!(dg.insert_edge(2, 0));
+        assert_eq!(dg.cores(), &[2, 2, 2]);
+        // tearing it down reverses the cores
+        assert!(dg.remove_edge(2, 0));
+        assert_eq!(dg.cores(), &[1, 1, 1]);
+        assert!(dg.remove_edge(1, 2));
+        assert_eq!(dg.cores(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_self_loops() {
+        let mut dg = DynamicGraph::new(3);
+        assert!(dg.insert_edge(0, 1));
+        assert!(!dg.insert_edge(0, 1));
+        assert!(!dg.insert_edge(1, 0));
+        assert!(!dg.insert_edge(2, 2));
+        assert!(!dg.remove_edge(0, 2));
+        assert_eq!(dg.degree(0), 1);
+    }
+
+    #[test]
+    fn clique_completion_raises_all() {
+        // building K5 one edge at a time stays consistent throughout
+        let mut dg = DynamicGraph::new(5);
+        let mut count = 0;
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                assert!(dg.insert_edge(u, v));
+                count += 1;
+                assert_cores_fresh(&dg, &format!("after edge {count}"));
+            }
+        }
+        assert_eq!(dg.cores(), &[4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn from_csr_matches_static() {
+        let g = gen::rmat(8, 800, gen::RmatParams::mild(), 4);
+        let dg = DynamicGraph::from_csr(&g);
+        assert_eq!(dg.cores(), &bz::core_numbers(&g)[..]);
+        assert_eq!(dg.to_csr().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn random_insert_stream_stays_consistent() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut dg = DynamicGraph::new(40);
+        for step in 0..300 {
+            let u = rng.gen_range(0..40);
+            let v = rng.gen_range(0..40);
+            dg.insert_edge(u, v);
+            if step % 25 == 0 {
+                assert_cores_fresh(&dg, &format!("insert step {step}"));
+            }
+        }
+        assert_cores_fresh(&dg, "final");
+    }
+
+    #[test]
+    fn random_mixed_stream_stays_consistent() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gen::erdos_renyi_gnm(50, 200, 3);
+        let mut dg = DynamicGraph::from_csr(&g);
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        for step in 0..400 {
+            if rng.gen_bool(0.5) && !edges.is_empty() {
+                let i = rng.gen_range(0..edges.len());
+                let (u, v) = edges.swap_remove(i);
+                assert!(dg.remove_edge(u, v), "step {step}: remove {u}-{v}");
+            } else {
+                let u = rng.gen_range(0..50);
+                let v = rng.gen_range(0..50);
+                if dg.insert_edge(u, v) {
+                    edges.push((u.min(v), u.max(v)));
+                }
+            }
+            if step % 20 == 0 {
+                assert_cores_fresh(&dg, &format!("mixed step {step}"));
+            }
+        }
+        assert_cores_fresh(&dg, "final mixed");
+    }
+
+    #[test]
+    fn deletion_cascades_through_subcore() {
+        // a cycle is a 2-core; cutting one edge drops the whole ring to 1
+        let g = gen::cycle(20);
+        let mut dg = DynamicGraph::from_csr(&g);
+        assert!(dg.remove_edge(0, 1));
+        assert_eq!(dg.cores(), &vec![1; 20][..]);
+    }
+
+    #[test]
+    fn insertion_cascades_through_subcore() {
+        // a path closed into a cycle raises the whole ring to 2
+        let g = gen::path(20);
+        let mut dg = DynamicGraph::from_csr(&g);
+        assert!(dg.insert_edge(0, 19));
+        assert_eq!(dg.cores(), &vec![2; 20][..]);
+    }
+}

@@ -1,0 +1,118 @@
+//! NetworkX-profile baseline.
+//!
+//! Table IV includes NetworkX's `core_number` to show what graph analysts
+//! get from the most popular Python library: the same O(m) algorithm as BZ,
+//! but executed over dict-of-lists adjacency with per-step boxed bookkeeping,
+//! which costs orders of magnitude in constants. This Rust stand-in
+//! reproduces that *algorithmic profile* — hash-map adjacency, hash-map
+//! degrees and positions, an owned neighbor-list copy per peeled vertex
+//! (NetworkX's `nbrs[v] = list(G[v])`), and per-vertex heap allocations —
+//! while remaining the same asymptotic algorithm.
+
+use crate::CoreAlgorithm;
+use kcore_graph::Csr;
+use std::collections::HashMap;
+
+/// The deliberately slow dict-of-lists implementation (default hasher, like
+/// Python's dicts use a general-purpose hash).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl CoreAlgorithm for Naive {
+    fn name(&self) -> &'static str {
+        "NetworkX"
+    }
+
+    fn run(&self, g: &Csr) -> Vec<u32> {
+        let n = g.num_vertices() as usize;
+        // G = {v: [neighbors]} — dict-of-lists like networkx.Graph.adj
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+        for v in 0..n as u32 {
+            adj.insert(v, g.neighbors(v).to_vec());
+        }
+        // degrees = dict(G.degree())
+        let mut degrees: HashMap<u32, u32> = HashMap::new();
+        for v in 0..n as u32 {
+            degrees.insert(v, adj[&v].len() as u32);
+        }
+        // nodes = sorted(G, key=degrees.get)
+        let mut nodes: Vec<u32> = (0..n as u32).collect();
+        nodes.sort_by_key(|v| degrees[v]);
+        // bin_boundaries
+        let mut bin_boundaries = vec![0usize];
+        let mut curr_degree = 0u32;
+        for (i, v) in nodes.iter().enumerate() {
+            let d = degrees[v];
+            if d > curr_degree {
+                for _ in 0..(d - curr_degree) {
+                    bin_boundaries.push(i);
+                }
+                curr_degree = d;
+            }
+        }
+        // node_pos = {v: pos}
+        let mut node_pos: HashMap<u32, usize> = HashMap::new();
+        for (pos, v) in nodes.iter().enumerate() {
+            node_pos.insert(*v, pos);
+        }
+        // core = degrees.copy(); nbrs = {v: list(G[v])}
+        let mut core: HashMap<u32, u32> = degrees.clone();
+        let mut nbrs: HashMap<u32, Vec<u32>> = HashMap::new();
+        for v in 0..n as u32 {
+            nbrs.insert(v, adj[&v].clone());
+        }
+        for i in 0..nodes.len() {
+            let v = nodes[i];
+            // for u in nbrs[v]:  (owned copy, like the Python list)
+            let v_nbrs = nbrs[&v].clone();
+            let core_v = core[&v];
+            for u in v_nbrs {
+                if core[&u] > core_v {
+                    // nbrs[u].remove(v) — linear scan, as list.remove does
+                    let lu = nbrs.get_mut(&u).unwrap();
+                    if let Some(idx) = lu.iter().position(|&x| x == v) {
+                        lu.swap_remove(idx);
+                    }
+                    // bucket swap bookkeeping via dict lookups
+                    let pos = node_pos[&u];
+                    let bin_start = bin_boundaries[core[&u] as usize];
+                    let w = nodes[bin_start];
+                    node_pos.insert(u, bin_start);
+                    node_pos.insert(w, pos);
+                    nodes.swap(bin_start, pos);
+                    bin_boundaries[core[&u] as usize] += 1;
+                    *core.get_mut(&u).unwrap() -= 1;
+                }
+            }
+        }
+        (0..n as u32).map(|v| core[&v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz;
+    use kcore_graph::{fig1_core_numbers, fig1_graph, gen};
+
+    #[test]
+    fn fig1() {
+        assert_eq!(Naive.run(&fig1_graph()), fig1_core_numbers());
+    }
+
+    #[test]
+    fn agrees_with_bz() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi_gnm(300, 1_200, seed);
+            assert_eq!(Naive.run(&g), bz::core_numbers(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(Naive.run(&gen::complete(5)), vec![4; 5]);
+        assert_eq!(Naive.run(&gen::cycle(6)), vec![2; 6]);
+        assert_eq!(Naive.run(&gen::star(4)), vec![1; 5]);
+        assert_eq!(Naive.run(&Csr::empty(3)), vec![0; 3]);
+    }
+}

@@ -1,0 +1,224 @@
+//! ParK (Dasari, Ranjan, Zubair; IEEE BigData'14) — the first parallelization
+//! of the peeling algorithm.
+//!
+//! Each round `k` has two phases: a **scan** phase collects all vertices of
+//! degree `k` into a *global* buffer `B`, and a **loop** phase removes
+//! vertices from `B` in BFS **sub-levels**: each sub-level processes the
+//! current buffer and collects newly degree-`k` vertices into `B_new`, then a
+//! barrier swaps the buffers. The per-sub-level synchronization is the
+//! overhead PKC later removes.
+
+use crate::CoreAlgorithm;
+use kcore_graph::Csr;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Serial ParK: full-array scan per round, queue-driven loop phase.
+///
+/// Asymptotically `O(m + n·k_max)` — the `n·k_max` term (a full degree scan
+/// every round) is what makes it slower than BZ on high-`k_max` graphs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialPark;
+
+impl CoreAlgorithm for SerialPark {
+    fn name(&self) -> &'static str {
+        "Serial ParK"
+    }
+
+    fn run(&self, g: &Csr) -> Vec<u32> {
+        let n = g.num_vertices() as usize;
+        let mut deg = g.degrees();
+        let mut count = 0usize;
+        let mut k = 0u32;
+        let mut buf: Vec<u32> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        while count < n {
+            // scan phase
+            buf.clear();
+            for v in 0..n {
+                if deg[v] == k {
+                    buf.push(v as u32);
+                }
+            }
+            // loop phase in sub-levels (mirrors the parallel structure)
+            while !buf.is_empty() {
+                count += buf.len();
+                next.clear();
+                for &v in &buf {
+                    for &u in g.neighbors(v) {
+                        let u = u as usize;
+                        if deg[u] > k {
+                            deg[u] -= 1;
+                            if deg[u] == k {
+                                next.push(u as u32);
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut buf, &mut next);
+            }
+            k += 1;
+        }
+        deg
+    }
+}
+
+/// Parallel ParK over `threads` workers sharing one global buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelPark {
+    /// Worker count. `ParallelPark::default()` uses all available cores.
+    pub threads: usize,
+}
+
+impl Default for ParallelPark {
+    fn default() -> Self {
+        ParallelPark { threads: crate::default_threads() }
+    }
+}
+
+impl CoreAlgorithm for ParallelPark {
+    fn name(&self) -> &'static str {
+        "ParK"
+    }
+
+    fn run(&self, g: &Csr) -> Vec<u32> {
+        parallel_core_numbers(g, self.threads.max(1))
+    }
+}
+
+/// The parallel ParK implementation proper.
+pub fn parallel_core_numbers(g: &Csr, threads: usize) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let deg: Vec<AtomicU32> = g.degrees().into_iter().map(AtomicU32::new).collect();
+    // Global buffer shared by all threads; capacity n since each vertex
+    // enters exactly once across the whole run of a round... across all
+    // rounds each vertex enters exactly once, so n is a safe capacity.
+    let buf: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let tail = AtomicUsize::new(0); // next append slot in buf
+    let cursor = AtomicUsize::new(0); // next item to claim in current sub-level
+    let sub_start = AtomicUsize::new(0); // current sub-level start
+    let sub_end = AtomicUsize::new(0); // current sub-level end
+    let processed = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let deg = &deg;
+            let buf = &buf;
+            let (tail, cursor, sub_start, sub_end, processed, barrier) =
+                (&tail, &cursor, &sub_start, &sub_end, &processed, &barrier);
+            s.spawn(move |_| {
+                let mut k = 0u32;
+                loop {
+                    if processed.load(Ordering::Acquire) >= n {
+                        break;
+                    }
+                    // ---- scan phase: strided partition of the vertex set.
+                    let lo = t * n / threads;
+                    let hi = (t + 1) * n / threads;
+                    for v in lo..hi {
+                        if deg[v].load(Ordering::Relaxed) == k {
+                            let slot = tail.fetch_add(1, Ordering::AcqRel);
+                            buf[slot].store(v as u32, Ordering::Relaxed);
+                        }
+                    }
+                    if barrier.wait().is_leader() {
+                        sub_end.store(tail.load(Ordering::Acquire), Ordering::Release);
+                        cursor.store(sub_start.load(Ordering::Acquire), Ordering::Release);
+                    }
+                    barrier.wait();
+                    // ---- loop phase: BFS sub-levels with barrier sync.
+                    loop {
+                        let end = sub_end.load(Ordering::Acquire);
+                        if sub_start.load(Ordering::Acquire) == end {
+                            break;
+                        }
+                        // claim items of the current sub-level
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::AcqRel);
+                            if i >= end {
+                                break;
+                            }
+                            let v = buf[i].load(Ordering::Relaxed);
+                            for &u in g.neighbors(v) {
+                                let u = u as usize;
+                                if deg[u].load(Ordering::Relaxed) > k {
+                                    let old = deg[u].fetch_sub(1, Ordering::AcqRel);
+                                    if old == k + 1 {
+                                        let slot = tail.fetch_add(1, Ordering::AcqRel);
+                                        buf[slot].store(u as u32, Ordering::Relaxed);
+                                    } else if old <= k {
+                                        // raced below the floor: restore
+                                        deg[u].fetch_add(1, Ordering::AcqRel);
+                                    }
+                                }
+                            }
+                        }
+                        // sub-level barrier; leader advances the window
+                        if barrier.wait().is_leader() {
+                            let end = sub_end.load(Ordering::Acquire);
+                            processed.fetch_add(end - sub_start.load(Ordering::Acquire), Ordering::AcqRel);
+                            sub_start.store(end, Ordering::Release);
+                            sub_end.store(tail.load(Ordering::Acquire), Ordering::Release);
+                            cursor.store(end, Ordering::Release);
+                        }
+                        barrier.wait();
+                    }
+                    k += 1;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    deg.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz;
+    use kcore_graph::{fig1_core_numbers, fig1_graph, gen};
+
+    #[test]
+    fn serial_fig1() {
+        assert_eq!(SerialPark.run(&fig1_graph()), fig1_core_numbers());
+    }
+
+    #[test]
+    fn parallel_fig1() {
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                ParallelPark { threads }.run(&fig1_graph()),
+                fig1_core_numbers(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bz_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi_gnm(500, 2_000, seed);
+            let expect = bz::core_numbers(&g);
+            assert_eq!(SerialPark.run(&g), expect, "serial seed {seed}");
+            assert_eq!(ParallelPark { threads: 4 }.run(&g), expect, "parallel seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_skewed_graph() {
+        let g = gen::power_law_hubs(2_000, 4_000, 2, 0.3, 5);
+        assert_eq!(ParallelPark { threads: 8 }.run(&g), bz::core_numbers(&g));
+    }
+
+    #[test]
+    fn handles_empty_and_edgeless() {
+        assert_eq!(ParallelPark { threads: 3 }.run(&Csr::empty(0)), Vec::<u32>::new());
+        assert_eq!(ParallelPark { threads: 3 }.run(&Csr::empty(7)), vec![0; 7]);
+        assert_eq!(SerialPark.run(&Csr::empty(7)), vec![0; 7]);
+    }
+}

@@ -1,0 +1,287 @@
+//! The roofline cost model.
+//!
+//! Each kernel launch accumulates per-block [`Counters`]; the launch's
+//! simulated time is
+//!
+//! ```text
+//! t = launch_overhead + max( makespan(block cycles over SMs) / clock,
+//!                            global traffic bytes / memory bandwidth )
+//! ```
+//!
+//! The compute term captures instruction-bound kernels (e.g. h-index
+//! combiners, compaction offset math — the paper's §VI ablation insight that
+//! "compaction runs additional instructions ... the cost of which is
+//! non-trivial"); the bandwidth term captures the memory-bound scans and
+//! adjacency walks. The makespan models the paper's block scheduling ("as
+//! thread blocks terminate, new blocks are launched on the vacated SMs").
+//!
+//! Constants for the paper's test device are in [`CostParams::p100`]; each
+//! value cites its source. The model is calibrated for *relative* orderings
+//! (which algorithm wins, by roughly what factor), not absolute times —
+//! EXPERIMENTS.md quantifies the match.
+
+/// Per-block event counters accumulated by kernels.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// 128-byte global-memory transactions (coalesced accesses count one per
+    /// segment; an uncoalesced warp access counts one per lane).
+    pub global_tx: u64,
+    /// 32-byte global-memory sector accesses — the granularity of *random*
+    /// scalar reads/writes (e.g. the loop kernel's `deg[u]` probes), which on
+    /// Pascal fetch one sector, not a full 128-byte line.
+    pub global_sectors: u64,
+    /// Serialized dependent global reads on a warp's critical path (the
+    /// `v = buf[i][s']` pointer chase of Algorithm 3) — the latency the VP
+    /// optimization hides by prefetching.
+    pub dependent_reads: u64,
+    /// Global-memory atomic operations (`atomicAdd`/`atomicSub` on device
+    /// buffers).
+    pub global_atomics: u64,
+    /// Shared-memory atomics (cheap, hardware-accelerated — the paper's §VI
+    /// point that "shared memory atomic operations have been highly
+    /// optimized by NVIDIA").
+    pub shared_atomics: u64,
+    /// Plain shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Warp-level instructions (one per warp per SIMT instruction, whatever
+    /// the number of active lanes — divergence wastes lanes, not warps).
+    pub warp_instrs: u64,
+    /// Block barriers (`__syncthreads`).
+    pub barriers: u64,
+}
+
+impl Counters {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &Counters) {
+        self.global_tx += other.global_tx;
+        self.global_sectors += other.global_sectors;
+        self.dependent_reads += other.dependent_reads;
+        self.global_atomics += other.global_atomics;
+        self.shared_atomics += other.shared_atomics;
+        self.shared_accesses += other.shared_accesses;
+        self.warp_instrs += other.warp_instrs;
+        self.barriers += other.barriers;
+    }
+}
+
+/// Calibrated device constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Global (HBM) bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Host↔device (PCIe) bandwidth in bytes/s.
+    pub pcie_bandwidth: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub kernel_launch_s: f64,
+    /// Issue cycles per 128-byte global transaction (latency is otherwise
+    /// hidden by warp oversubscription; throughput is the bandwidth term).
+    pub tx_issue_cycles: f64,
+    /// Issue cycles per 32-byte random sector access.
+    pub sector_issue_cycles: f64,
+    /// Exposed latency cycles per serialized dependent read (amortized over
+    /// the ~8× warp oversubscription a P100 SM sustains; raw DRAM latency is
+    /// hundreds of cycles, but only the un-overlapped residue lands on the
+    /// critical path).
+    pub dependent_latency_cycles: f64,
+    /// Fixed per-call host↔device transfer latency (driver + PCIe round
+    /// trip), seconds. Dominates tiny synchronizing copies like the
+    /// per-round `gpu_count` readback of Algorithm 1.
+    pub pcie_latency_s: f64,
+    /// Cycles per global atomic.
+    pub global_atomic_cycles: f64,
+    /// Cycles per shared-memory atomic.
+    pub shared_atomic_cycles: f64,
+    /// Cycles per plain shared-memory access.
+    pub shared_access_cycles: f64,
+    /// Cycles per warp instruction.
+    pub instr_cycles: f64,
+    /// Cycles per block barrier.
+    pub barrier_cycles: f64,
+    /// Global-traffic bytes attributed to one global atomic (read-modify-
+    /// write of one 32-byte sector).
+    pub atomic_traffic_bytes: u64,
+}
+
+impl CostParams {
+    /// NVIDIA Tesla P100 (the paper's device, §VI):
+    /// 56 SMs, 1.33 GHz boost clock, 732 GB/s HBM2, 16 GB global memory
+    /// (capacity is configured on the [`crate::Device`], not here), PCIe 3
+    /// x16 ≈ 12 GB/s effective. Launch overhead ~5 µs is the commonly
+    /// measured null-kernel cost. Atomic costs reflect Pascal's optimized
+    /// atomics (the paper's [11]): shared atomics near register speed,
+    /// global atomics ~1 sector round trip amortized.
+    pub fn p100() -> Self {
+        CostParams {
+            sm_count: 56,
+            clock_hz: 1.33e9,
+            mem_bandwidth: 732e9,
+            pcie_bandwidth: 12e9,
+            kernel_launch_s: 5e-6,
+            tx_issue_cycles: 4.0,
+            sector_issue_cycles: 4.0,
+            dependent_latency_cycles: 6.0,
+            pcie_latency_s: 8e-6,
+            global_atomic_cycles: 24.0,
+            shared_atomic_cycles: 3.0,
+            shared_access_cycles: 2.0,
+            instr_cycles: 1.0,
+            barrier_cycles: 32.0,
+            atomic_traffic_bytes: 32,
+        }
+    }
+
+    /// Compute cycles a block's counters cost on one SM.
+    pub fn block_cycles(&self, c: &Counters) -> f64 {
+        c.global_tx as f64 * self.tx_issue_cycles
+            + c.global_sectors as f64 * self.sector_issue_cycles
+            + c.dependent_reads as f64 * self.dependent_latency_cycles
+            + c.global_atomics as f64 * self.global_atomic_cycles
+            + c.shared_atomics as f64 * self.shared_atomic_cycles
+            + c.shared_accesses as f64 * self.shared_access_cycles
+            + c.warp_instrs as f64 * self.instr_cycles
+            + c.barriers as f64 * self.barrier_cycles
+    }
+
+    /// Global-memory traffic in bytes implied by the counters.
+    pub fn traffic_bytes(&self, c: &Counters) -> u64 {
+        c.global_tx * 128
+            + c.global_sectors * 32
+            + c.dependent_reads * 32
+            + c.global_atomics * self.atomic_traffic_bytes
+    }
+
+    /// Kernel time: launch overhead + roofline of compute makespan vs
+    /// bandwidth. `block_cycles` holds one entry per block, in dispatch
+    /// order; blocks are greedily assigned to the least-loaded SM (the
+    /// hardware's dispatch behaviour).
+    pub fn kernel_time_s(&self, block_cycles: &[f64], total_traffic_bytes: u64) -> f64 {
+        let makespan = makespan(block_cycles, self.sm_count as usize);
+        let compute_s = makespan / self.clock_hz;
+        let mem_s = total_traffic_bytes as f64 / self.mem_bandwidth;
+        self.kernel_launch_s + compute_s.max(mem_s)
+    }
+}
+
+/// Greedy list-scheduling makespan of `jobs` on `machines` (dispatch order,
+/// least-loaded machine first) — how block grids fill SMs.
+pub fn makespan(jobs: &[f64], machines: usize) -> f64 {
+    assert!(machines > 0);
+    let mut loads = vec![0.0f64; machines];
+    for &j in jobs {
+        // least-loaded SM (ties: lowest index, deterministic)
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .unwrap();
+        loads[idx] += j;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// A record of one simulated kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of blocks.
+    pub blocks: u32,
+    /// Simulated duration of this launch, in seconds.
+    pub time_s: f64,
+    /// Summed counters over all blocks.
+    pub counters: Counters,
+    /// Largest single-block cycle count (load-imbalance diagnostics).
+    pub max_block_cycles: f64,
+    /// Total cycle count across blocks.
+    pub sum_block_cycles: f64,
+}
+
+/// Summary of a whole simulated program run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Total simulated time (kernels + transfers), milliseconds.
+    pub total_ms: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Peak device memory, bytes.
+    pub peak_mem_bytes: u64,
+    /// Grand-total counters.
+    pub counters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_balances() {
+        // 4 equal jobs on 2 machines -> 2 jobs each
+        assert_eq!(makespan(&[1.0, 1.0, 1.0, 1.0], 2), 2.0);
+        // one big job dominates
+        assert_eq!(makespan(&[10.0, 1.0, 1.0], 4), 10.0);
+        // empty
+        assert_eq!(makespan(&[], 8), 0.0);
+        // more machines than jobs
+        assert_eq!(makespan(&[3.0, 2.0], 56), 3.0);
+    }
+
+    #[test]
+    fn roofline_picks_binding_constraint() {
+        let p = CostParams::p100();
+        // pure compute: 1 block, lots of instructions, no traffic
+        let t_compute = p.kernel_time_s(&[1.33e9], 0); // 1e9-cycle block = 1 s
+        assert!((t_compute - (1.0 + p.kernel_launch_s)).abs() < 1e-9);
+        // pure memory: trivial compute, 732 GB of traffic = 1 s
+        let t_mem = p.kernel_time_s(&[1.0], 732_000_000_000);
+        assert!((t_mem - (1.0 + p.kernel_launch_s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_cycles_sums_components() {
+        let p = CostParams::p100();
+        let c = Counters {
+            global_tx: 2,
+            global_sectors: 3,
+            dependent_reads: 1,
+            global_atomics: 1,
+            shared_atomics: 1,
+            shared_accesses: 1,
+            warp_instrs: 10,
+            barriers: 1,
+        };
+        let expect = 2.0 * p.tx_issue_cycles
+            + 3.0 * p.sector_issue_cycles
+            + p.dependent_latency_cycles
+            + p.global_atomic_cycles
+            + p.shared_atomic_cycles
+            + p.shared_access_cycles
+            + 10.0 * p.instr_cycles
+            + p.barrier_cycles;
+        assert_eq!(p.block_cycles(&c), expect);
+        assert_eq!(p.traffic_bytes(&c), 2 * 128 + 3 * 32 + 32 + 32);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters { global_tx: 1, ..Default::default() };
+        let b = Counters { global_tx: 2, warp_instrs: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.global_tx, 3);
+        assert_eq!(a.warp_instrs, 5);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernel() {
+        let p = CostParams::p100();
+        let t = p.kernel_time_s(&[0.0; 108], 0);
+        assert!((t - p.kernel_launch_s).abs() < 1e-12);
+    }
+}

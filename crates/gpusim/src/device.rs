@@ -1,0 +1,219 @@
+//! Tracked device (global) memory.
+//!
+//! Mirrors the `cudaMalloc`/`cudaFree` discipline of §III: the host program
+//! allocates input and intermediate buffers in device memory, and the peak
+//! footprint determines whether a graph fits on the GPU at all (Table V). All
+//! buffers are `u32`-typed — vertex IDs, degrees, offsets and counters are
+//! all 32-bit words on the device, as in the paper's kernels — and exposed
+//! as `AtomicU32` slices because thread blocks run concurrently.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+/// Device allocation failure — surfaces as the paper's "OOM" table entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// Name of the allocation that failed.
+    pub name: String,
+    /// Requested size in bytes.
+    pub requested_bytes: u64,
+    /// Bytes still free at the time of the request.
+    pub available_bytes: u64,
+    /// Total device capacity.
+    pub capacity_bytes: u64,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device OOM allocating {:?}: requested {} B, available {} B of {} B",
+            self.name, self.requested_bytes, self.available_bytes, self.capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+struct Allocation {
+    name: String,
+    data: Vec<AtomicU32>,
+}
+
+/// A simulated GPU device: a fixed-capacity global memory arena with
+/// current/peak accounting.
+pub struct Device {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    slots: Vec<Option<Allocation>>,
+}
+
+impl Device {
+    /// A device with `capacity_bytes` of global memory.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Device { capacity: capacity_bytes, used: 0, peak: 0, slots: Vec::new() }
+    }
+
+    /// Allocates `len` 32-bit words, zero-initialized.
+    pub fn alloc(&mut self, name: &str, len: usize) -> Result<BufferId, OomError> {
+        let bytes = len as u64 * 4;
+        if self.used + bytes > self.capacity {
+            return Err(OomError {
+                name: name.to_owned(),
+                requested_bytes: bytes,
+                available_bytes: self.capacity - self.used,
+                capacity_bytes: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        let alloc = Allocation {
+            name: name.to_owned(),
+            data: (0..len).map(|_| AtomicU32::new(0)).collect(),
+        };
+        // Reuse a free slot if any, else push.
+        let id = match self.slots.iter().position(Option::is_none) {
+            Some(i) => {
+                self.slots[i] = Some(alloc);
+                i
+            }
+            None => {
+                self.slots.push(Some(alloc));
+                self.slots.len() - 1
+            }
+        };
+        Ok(BufferId(id))
+    }
+
+    /// Frees an allocation (`cudaFree`).
+    ///
+    /// # Panics
+    /// Panics on double free or an invalid handle — both are host-program
+    /// bugs, exactly as they would be under CUDA.
+    pub fn free(&mut self, id: BufferId) {
+        let alloc = self.slots[id.0].take().expect("double free / invalid buffer id");
+        self.used -= alloc.data.len() as u64 * 4;
+    }
+
+    /// The words of a buffer. Atomic because blocks execute concurrently.
+    pub fn buffer(&self, id: BufferId) -> &[AtomicU32] {
+        &self.slots[id.0].as_ref().expect("freed or invalid buffer id").data
+    }
+
+    /// Name given at allocation time (for diagnostics).
+    pub fn buffer_name(&self, id: BufferId) -> &str {
+        &self.slots[id.0].as_ref().expect("freed or invalid buffer id").name
+    }
+
+    /// Number of words in a buffer.
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffer(id).len()
+    }
+
+    /// Fills a buffer with `value` (host-side helper, like `cudaMemset`).
+    pub fn fill(&self, id: BufferId, value: u32) {
+        for w in self.buffer(id) {
+            w.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies host data into a buffer.
+    pub fn write_slice(&self, id: BufferId, data: &[u32]) {
+        let buf = self.buffer(id);
+        assert!(data.len() <= buf.len(), "host slice larger than device buffer");
+        for (w, &v) in buf.iter().zip(data) {
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies a buffer back to host.
+    pub fn read_vec(&self, id: BufferId) -> Vec<u32> {
+        self.buffer(id).iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Peak bytes ever allocated — the Table V metric.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut d = Device::new(1024);
+        let a = d.alloc("a", 100).unwrap(); // 400 B
+        assert_eq!(d.used_bytes(), 400);
+        let b = d.alloc("b", 100).unwrap(); // 800 B
+        assert_eq!(d.used_bytes(), 800);
+        assert_eq!(d.peak_bytes(), 800);
+        d.free(a);
+        assert_eq!(d.used_bytes(), 400);
+        assert_eq!(d.peak_bytes(), 800); // peak sticks
+        let c = d.alloc("c", 150).unwrap(); // reuses slot, 1000 B total
+        assert_eq!(d.used_bytes(), 1000);
+        assert_eq!(d.peak_bytes(), 1000);
+        assert_eq!(d.buffer_name(c), "c");
+        d.free(b);
+        d.free(c);
+        assert_eq!(d.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_reports_details() {
+        let mut d = Device::new(100);
+        let _a = d.alloc("a", 20).unwrap(); // 80 B
+        let err = d.alloc("big", 10).unwrap_err(); // 40 B > 20 free
+        assert_eq!(err.requested_bytes, 40);
+        assert_eq!(err.available_bytes, 20);
+        assert_eq!(err.name, "big");
+        assert!(err.to_string().contains("OOM"));
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = Device::new(1024);
+        let id = d.alloc("x", 4).unwrap();
+        d.write_slice(id, &[9, 8, 7, 6]);
+        assert_eq!(d.read_vec(id), vec![9, 8, 7, 6]);
+        d.fill(id, 5);
+        assert_eq!(d.read_vec(id), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut d = Device::new(1024);
+        let id = d.alloc("x", 1).unwrap();
+        d.free(id);
+        d.free(id);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut d = Device::new(1024);
+        let id = d.alloc("z", 8).unwrap();
+        assert_eq!(d.read_vec(id), vec![0; 8]);
+    }
+}

@@ -1,0 +1,835 @@
+//! Kernel execution: grids, blocks, shared memory, and charging.
+//!
+//! [`GpuContext::launch`] runs a kernel closure once per thread block, with
+//! blocks genuinely executing in parallel on host threads (blocks are
+//! independent on hardware too — §III: "different thread blocks are
+//! independent in their execution"). Cross-block communication goes through
+//! device buffers with real atomics, so any interleaving the simulator
+//! produces is an interleaving the hardware could produce.
+//!
+//! The kernel closure receives a [`BlockCtx`] carrying the block's identity,
+//! its private shared memory, and the cost-model charging interface. Kernels
+//! *charge* the events they perform (`charge_instr`, `charge_tx`, atomics,
+//! barriers); memory itself is accessed directly through the device's atomic
+//! slices. The per-access helpers ([`BlockCtx::gread`], [`BlockCtx::atomic_add`],
+//! …) bundle the access with its charge for the common cases.
+
+use crate::cost::{Counters, CostParams, LaunchRecord, SimReport};
+use crate::device::{BufferId, Device, OomError};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Simulation environment for a run: device cost constants, memory capacity,
+/// and an optional simulated-time budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Device cost constants.
+    pub cost: CostParams,
+    /// Device global-memory capacity in bytes (the paper's P100 has 16 GB).
+    pub device_capacity_bytes: u64,
+    /// Optional simulated-time budget in ms; exceeded → [`SimError::TimeLimit`]
+    /// (the bench harness prints these as the paper's "> 1hr" cells).
+    pub time_limit_ms: Option<f64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            cost: CostParams::p100(),
+            device_capacity_bytes: 16 * (1 << 30),
+            time_limit_ms: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Builds a fresh [`GpuContext`] configured per these options.
+    pub fn context(&self) -> GpuContext {
+        let mut ctx = GpuContext::new(self.cost, self.device_capacity_bytes);
+        if let Some(ms) = self.time_limit_ms {
+            ctx.set_time_limit_ms(ms);
+        }
+        ctx
+    }
+}
+
+/// Grid geometry of a kernel launch (`<<<BLK_NUM, BLK_DIM>>>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks (`BLK_NUM`).
+    pub blocks: u32,
+    /// Threads per block (`BLK_DIM`), a multiple of 32.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// The paper's configuration: 108 blocks of 1024 threads (§VI).
+    pub fn paper() -> Self {
+        LaunchConfig { blocks: 108, threads_per_block: 1024 }
+    }
+
+    /// Warps per block (`BLK_DIM >> 5`).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block / 32
+    }
+
+    /// Total thread count (`NUM_THREADS`).
+    pub fn num_threads(&self) -> u32 {
+        self.blocks * self.threads_per_block
+    }
+}
+
+/// In-kernel failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// A `shared_alloc` exceeded the block's shared-memory capacity.
+    SharedMemExceeded {
+        /// Bytes requested beyond what remained.
+        requested_bytes: u64,
+        /// Per-block capacity.
+        capacity_bytes: u64,
+    },
+    /// A device buffer used as a work queue overflowed — the paper's
+    /// "block overflow ... the graph is too large to be processed given the
+    /// space limit" assertion.
+    BufferOverflow {
+        /// Which buffer overflowed.
+        what: String,
+    },
+    /// Any other kernel-reported failure.
+    Other(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::SharedMemExceeded { requested_bytes, capacity_bytes } => write!(
+                f,
+                "shared memory exceeded: requested {requested_bytes} B beyond capacity {capacity_bytes} B"
+            ),
+            KernelError::BufferOverflow { what } => write!(f, "device buffer overflow: {what}"),
+            KernelError::Other(msg) => write!(f, "kernel error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Simulation-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Device allocation failed.
+    Oom(OomError),
+    /// A kernel reported an error.
+    Kernel(KernelError),
+    /// The configured simulated-time budget was exhausted (the harness
+    /// reports these as the paper's "> 1hr" entries).
+    TimeLimit {
+        /// The configured limit, ms.
+        limit_ms: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Oom(e) => write!(f, "{e}"),
+            SimError::Kernel(e) => write!(f, "{e}"),
+            SimError::TimeLimit { limit_ms } => {
+                write!(f, "simulated time limit of {limit_ms} ms exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<OomError> for SimError {
+    fn from(e: OomError) -> Self {
+        SimError::Oom(e)
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        SimError::Kernel(e)
+    }
+}
+
+/// Handle to a block-shared-memory array (per block, like `__shared__`).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedArray {
+    start: usize,
+    len: usize,
+}
+
+impl SharedArray {
+    /// Number of 32-bit words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-block execution context handed to kernel closures.
+pub struct BlockCtx<'a> {
+    /// The device, for buffer access.
+    pub device: &'a Device,
+    /// This block's index (`blockIdx.x`).
+    pub block_idx: u32,
+    /// Grid geometry.
+    pub cfg: LaunchConfig,
+    /// Event counters for this block.
+    pub counters: Counters,
+    shared: Vec<u32>,
+    shared_capacity_bytes: u64,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn new(device: &'a Device, block_idx: u32, cfg: LaunchConfig, shared_capacity_bytes: u64) -> Self {
+        BlockCtx {
+            device,
+            block_idx,
+            cfg,
+            counters: Counters::default(),
+            shared: Vec::new(),
+            shared_capacity_bytes,
+        }
+    }
+
+    /// Warps in this block.
+    pub fn num_warps(&self) -> u32 {
+        self.cfg.warps_per_block()
+    }
+
+    // ---- shared memory -------------------------------------------------
+
+    /// Allocates `len` words of block shared memory (zeroed).
+    pub fn shared_alloc(&mut self, len: usize) -> Result<SharedArray, KernelError> {
+        let new_bytes = (self.shared.len() + len) as u64 * 4;
+        if new_bytes > self.shared_capacity_bytes {
+            return Err(KernelError::SharedMemExceeded {
+                requested_bytes: new_bytes - self.shared_capacity_bytes,
+                capacity_bytes: self.shared_capacity_bytes,
+            });
+        }
+        let start = self.shared.len();
+        self.shared.resize(start + len, 0);
+        Ok(SharedArray { start, len })
+    }
+
+    /// Reads a shared-memory word (charged).
+    #[inline]
+    pub fn sh_read(&mut self, arr: SharedArray, idx: usize) -> u32 {
+        debug_assert!(idx < arr.len);
+        self.counters.shared_accesses += 1;
+        self.shared[arr.start + idx]
+    }
+
+    /// Writes a shared-memory word (charged).
+    #[inline]
+    pub fn sh_write(&mut self, arr: SharedArray, idx: usize, value: u32) {
+        debug_assert!(idx < arr.len);
+        self.counters.shared_accesses += 1;
+        self.shared[arr.start + idx] = value;
+    }
+
+    /// Shared-memory atomic add; returns the old value. Within the simulated
+    /// block this is sequentialized, but it is charged at shared-atomic cost
+    /// (the paper's `atomicAdd(e, 1)` in Algorithm 2).
+    #[inline]
+    pub fn sh_atomic_add(&mut self, arr: SharedArray, idx: usize, delta: u32) -> u32 {
+        debug_assert!(idx < arr.len);
+        self.counters.shared_atomics += 1;
+        let slot = &mut self.shared[arr.start + idx];
+        let old = *slot;
+        *slot = old.wrapping_add(delta);
+        old
+    }
+
+    // ---- global memory -------------------------------------------------
+
+    /// Scalar (uncoalesced) global read: one 32-byte sector access.
+    #[inline]
+    pub fn gread(&mut self, cell: &AtomicU32) -> u32 {
+        self.counters.global_sectors += 1;
+        cell.load(Ordering::Relaxed)
+    }
+
+    /// Scalar (uncoalesced) global write: one 32-byte sector access.
+    #[inline]
+    pub fn gwrite(&mut self, cell: &AtomicU32, value: u32) {
+        self.counters.global_sectors += 1;
+        cell.store(value, Ordering::Relaxed);
+    }
+
+    /// A *serialized dependent* global read on the warp's critical path
+    /// (pointer chase) — charged with exposed latency on top of the sector
+    /// access. This is the cost the VP optimization prefetches away.
+    #[inline]
+    pub fn gread_dependent(&mut self, cell: &AtomicU32) -> u32 {
+        self.counters.global_sectors += 1;
+        self.counters.dependent_reads += 1;
+        cell.load(Ordering::Relaxed)
+    }
+
+    /// Global `atomicAdd`; returns the old value.
+    #[inline]
+    pub fn atomic_add(&mut self, cell: &AtomicU32, delta: u32) -> u32 {
+        self.counters.global_atomics += 1;
+        cell.fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Global `atomicSub`; returns the old value.
+    #[inline]
+    pub fn atomic_sub(&mut self, cell: &AtomicU32, delta: u32) -> u32 {
+        self.counters.global_atomics += 1;
+        cell.fetch_sub(delta, Ordering::AcqRel)
+    }
+
+    // ---- charging ------------------------------------------------------
+
+    /// Charges `n` warp instructions.
+    #[inline]
+    pub fn charge_instr(&mut self, n: u64) {
+        self.counters.warp_instrs += n;
+    }
+
+    /// Charges `n` 128-byte global transactions (use with direct slice
+    /// access when a warp touches a contiguous run — see
+    /// [`BlockCtx::coalesced_tx`]).
+    #[inline]
+    pub fn charge_tx(&mut self, n: u64) {
+        self.counters.global_tx += n;
+    }
+
+    /// Charges `n` random 32-byte sector accesses (use with direct slice
+    /// access for scattered per-lane reads/writes).
+    #[inline]
+    pub fn charge_sector(&mut self, n: u64) {
+        self.counters.global_sectors += n;
+    }
+
+    /// Transactions needed for a coalesced warp access of `words` 32-bit
+    /// words: `ceil(4·words / 128)`.
+    #[inline]
+    pub fn coalesced_tx(words: u64) -> u64 {
+        (words * 4).div_ceil(128)
+    }
+
+    /// `__syncthreads()` — block barrier (charged).
+    #[inline]
+    pub fn sync_threads(&mut self) {
+        self.counters.barriers += 1;
+    }
+
+    /// `__syncwarp()` — warp barrier (charged as one instruction).
+    #[inline]
+    pub fn sync_warp(&mut self) {
+        self.counters.warp_instrs += 1;
+    }
+}
+
+/// The simulated GPU program context: device + cost model + simulated clock.
+pub struct GpuContext {
+    /// Device memory.
+    pub device: Device,
+    /// Cost constants.
+    pub cost: CostParams,
+    shared_capacity_bytes: u64,
+    time_s: f64,
+    limit_s: Option<f64>,
+    launches: Vec<LaunchRecord>,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    schedule_seed: u64,
+}
+
+impl GpuContext {
+    /// A context with the given cost model and device capacity in bytes.
+    /// Shared memory defaults to the P100's 64 KiB per block.
+    pub fn new(cost: CostParams, device_capacity_bytes: u64) -> Self {
+        GpuContext {
+            device: Device::new(device_capacity_bytes),
+            cost,
+            shared_capacity_bytes: 64 * 1024,
+            time_s: 0.0,
+            limit_s: None,
+            launches: Vec::new(),
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+            schedule_seed: 0,
+        }
+    }
+
+    /// Overrides per-block shared memory capacity.
+    pub fn set_shared_capacity(&mut self, bytes: u64) {
+        self.shared_capacity_bytes = bytes;
+    }
+
+    /// Sets a simulated-time budget; once exceeded, further launches and
+    /// transfers fail with [`SimError::TimeLimit`].
+    pub fn set_time_limit_ms(&mut self, ms: f64) {
+        self.limit_s = Some(ms / 1e3);
+    }
+
+    fn check_limit(&self) -> Result<(), SimError> {
+        if let Some(limit) = self.limit_s {
+            if self.time_s > limit {
+                return Err(SimError::TimeLimit { limit_ms: limit * 1e3 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a device buffer without a host transfer.
+    pub fn alloc(&mut self, name: &str, len: usize) -> Result<BufferId, SimError> {
+        Ok(self.device.alloc(name, len)?)
+    }
+
+    /// `cudaMalloc` + `cudaMemcpy` host→device, charged at PCIe bandwidth.
+    pub fn htod(&mut self, name: &str, data: &[u32]) -> Result<BufferId, SimError> {
+        self.check_limit()?;
+        let id = self.device.alloc(name, data.len())?;
+        self.device.write_slice(id, data);
+        let bytes = data.len() as u64 * 4;
+        self.h2d_bytes += bytes;
+        self.time_s += self.cost.pcie_latency_s + bytes as f64 / self.cost.pcie_bandwidth;
+        Ok(id)
+    }
+
+    /// `cudaMemcpy` device→host, charged at PCIe latency + bandwidth (a
+    /// synchronizing copy — Algorithm 1 pays this every round for
+    /// `gpu_count`).
+    pub fn dtoh(&mut self, id: BufferId) -> Vec<u32> {
+        let out = self.device.read_vec(id);
+        let bytes = out.len() as u64 * 4;
+        self.d2h_bytes += bytes;
+        self.time_s += self.cost.pcie_latency_s + bytes as f64 / self.cost.pcie_bandwidth;
+        out
+    }
+
+    /// Reads a single device word back to the host (the `gpu_count`
+    /// pattern), charged as one synchronizing D2H copy.
+    pub fn dtoh_word(&mut self, id: BufferId, idx: usize) -> u32 {
+        let v = self.device.buffer(id)[idx].load(Ordering::Relaxed);
+        self.d2h_bytes += 4;
+        self.time_s += self.cost.pcie_latency_s + 4.0 / self.cost.pcie_bandwidth;
+        v
+    }
+
+    /// Launches a kernel: runs `kernel` once per block (in parallel),
+    /// aggregates the counters, and advances the simulated clock.
+    pub fn launch<F>(&mut self, name: &'static str, cfg: LaunchConfig, kernel: F) -> Result<(), SimError>
+    where
+        F: Fn(&mut BlockCtx<'_>) -> Result<(), KernelError> + Sync,
+    {
+        self.check_limit()?;
+        assert!(cfg.threads_per_block % 32 == 0, "BLK_DIM must be a multiple of 32");
+        let device = &self.device;
+        let shared_cap = self.shared_capacity_bytes;
+        let results: Vec<Result<Counters, KernelError>> = (0..cfg.blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut blk = BlockCtx::new(device, b, cfg, shared_cap);
+                kernel(&mut blk)?;
+                Ok(blk.counters)
+            })
+            .collect();
+
+        let mut total = Counters::default();
+        let mut block_cycles = Vec::with_capacity(cfg.blocks as usize);
+        for r in results {
+            let c = r.map_err(SimError::Kernel)?;
+            block_cycles.push(self.cost.block_cycles(&c));
+            total.merge(&c);
+        }
+        let traffic = self.cost.traffic_bytes(&total);
+        let t = self.cost.kernel_time_s(&block_cycles, traffic);
+        self.time_s += t;
+        let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
+        let sum_block_cycles = block_cycles.iter().sum();
+        self.launches.push(LaunchRecord {
+            name,
+            blocks: cfg.blocks,
+            time_s: t,
+            counters: total,
+            max_block_cycles,
+            sum_block_cycles,
+        });
+        self.check_limit()
+    }
+
+    /// Launches a kernel whose blocks interact through global memory *while
+    /// running* (e.g. work-stealing-style frontier dynamics): blocks advance
+    /// in global lockstep **waves**, one `step` per wave, so cross-block
+    /// interleaving matches concurrent hardware execution instead of
+    /// depending on host scheduling. (A plain [`GpuContext::launch`] runs
+    /// each block to completion, which would let early blocks consume work
+    /// that concurrent hardware blocks would have shared.)
+    ///
+    /// `init` builds each block's persistent state; `step` performs one
+    /// barrier-delimited super-step and returns `false` when the block
+    /// retires. Within a wave, blocks step in a deterministic shuffled order
+    /// derived from [`GpuContext::set_schedule_seed`] — re-running with a
+    /// different seed models hardware scheduling nondeterminism (the
+    /// paper's observed up-to-30% run-to-run variance).
+    pub fn launch_stepped<S, FI, FS>(
+        &mut self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        init: FI,
+        step: FS,
+    ) -> Result<(), SimError>
+    where
+        FI: Fn(&mut BlockCtx<'_>) -> Result<S, KernelError>,
+        FS: Fn(&mut BlockCtx<'_>, &mut S) -> Result<bool, KernelError>,
+    {
+        self.check_limit()?;
+        assert!(cfg.threads_per_block % 32 == 0, "BLK_DIM must be a multiple of 32");
+        let device = &self.device;
+        let shared_cap = self.shared_capacity_bytes;
+
+        let mut blocks: Vec<(BlockCtx<'_>, S, bool)> = Vec::with_capacity(cfg.blocks as usize);
+        for b in 0..cfg.blocks {
+            let mut blk = BlockCtx::new(device, b, cfg, shared_cap);
+            let state = init(&mut blk).map_err(SimError::Kernel)?;
+            blocks.push((blk, state, true));
+        }
+        // xorshift-based deterministic wave shuffle
+        let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        let mut live = blocks.len();
+        while live > 0 {
+            // Fisher–Yates with the xorshift stream
+            for i in (1..order.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let j = (rng % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let (blk, state, alive) = &mut blocks[i];
+                if !*alive {
+                    continue;
+                }
+                match step(blk, state) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        *alive = false;
+                        live -= 1;
+                    }
+                    Err(e) => return Err(SimError::Kernel(e)),
+                }
+            }
+        }
+
+        let mut total = Counters::default();
+        let mut block_cycles = Vec::with_capacity(blocks.len());
+        for (blk, _, _) in &blocks {
+            block_cycles.push(self.cost.block_cycles(&blk.counters));
+            total.merge(&blk.counters);
+        }
+        let traffic = self.cost.traffic_bytes(&total);
+        let t = self.cost.kernel_time_s(&block_cycles, traffic);
+        self.time_s += t;
+        let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
+        let sum_block_cycles = block_cycles.iter().sum();
+        self.launches.push(LaunchRecord {
+            name,
+            blocks: cfg.blocks,
+            time_s: t,
+            counters: total,
+            max_block_cycles,
+            sum_block_cycles,
+        });
+        self.check_limit()
+    }
+
+    /// Sets the wave-scheduling seed used by [`GpuContext::launch_stepped`].
+    pub fn set_schedule_seed(&mut self, seed: u64) {
+        self.schedule_seed = seed;
+    }
+
+    /// Adds raw simulated time (framework overheads charged by the
+    /// graph-system layers, e.g. host-device synchronization or autotuner
+    /// decisions that are not per-block events).
+    pub fn add_overhead_s(&mut self, seconds: f64) -> Result<(), SimError> {
+        self.time_s += seconds;
+        self.check_limit()
+    }
+
+    /// Total simulated time so far, milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.time_s * 1e3
+    }
+
+    /// Launch records, in order.
+    pub fn launches(&self) -> &[LaunchRecord] {
+        &self.launches
+    }
+
+    /// Rollup of the whole run.
+    pub fn report(&self) -> SimReport {
+        let mut counters = Counters::default();
+        for l in &self.launches {
+            counters.merge(&l.counters);
+        }
+        SimReport {
+            total_ms: self.elapsed_ms(),
+            launches: self.launches.len() as u64,
+            h2d_bytes: self.h2d_bytes,
+            d2h_bytes: self.d2h_bytes,
+            peak_mem_bytes: self.device.peak_bytes(),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> GpuContext {
+        GpuContext::new(CostParams::p100(), 1 << 20)
+    }
+
+    #[test]
+    fn grid_stride_kernel_touches_everything() {
+        let mut c = ctx();
+        let n = 1000usize;
+        let buf = c.htod("x", &vec![1u32; n]).unwrap();
+        let cfg = LaunchConfig { blocks: 8, threads_per_block: 64 };
+        c.launch("incr", cfg, |blk| {
+            let data = blk.device.buffer(buf);
+            let mut i = blk.block_idx as usize;
+            while i < n {
+                let v = blk.gread(&data[i]);
+                blk.gwrite(&data[i], v + 1);
+                i += cfg.blocks as usize;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.dtoh(buf), vec![2u32; n]);
+        assert_eq!(c.launches().len(), 1);
+        assert_eq!(c.launches()[0].counters.global_sectors, 2 * n as u64);
+    }
+
+    #[test]
+    fn atomics_are_cross_block_safe() {
+        let mut c = ctx();
+        let counter = c.alloc("counter", 1).unwrap();
+        let cfg = LaunchConfig { blocks: 64, threads_per_block: 32 };
+        c.launch("count", cfg, |blk| {
+            let cell = &blk.device.buffer(counter)[0];
+            for _ in 0..100 {
+                blk.atomic_add(cell, 1);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.dtoh(counter)[0], 6400);
+    }
+
+    #[test]
+    fn shared_memory_is_per_block_and_limited() {
+        let mut c = ctx();
+        c.set_shared_capacity(1024); // 256 words
+        let out = c.alloc("out", 4).unwrap();
+        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        c.launch("sh", cfg, |blk| {
+            let arr = blk.shared_alloc(10)?;
+            blk.sh_write(arr, 0, blk.block_idx);
+            let v = blk.sh_read(arr, 0);
+            blk.gwrite(&blk.device.buffer(out)[blk.block_idx as usize], v);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.dtoh(out), vec![0, 1, 2, 3]);
+
+        // over-allocate fails
+        let err = c
+            .launch("too_big", cfg, |blk| {
+                let _ = blk.shared_alloc(1000)?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Kernel(KernelError::SharedMemExceeded { .. })));
+    }
+
+    #[test]
+    fn shared_atomic_returns_old_value() {
+        let mut c = ctx();
+        let out = c.alloc("out", 3).unwrap();
+        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        c.launch("sa", cfg, |blk| {
+            let e = blk.shared_alloc(1)?;
+            let o1 = blk.sh_atomic_add(e, 0, 5);
+            let o2 = blk.sh_atomic_add(e, 0, 2);
+            let cur = blk.sh_read(e, 0);
+            let out_buf = blk.device.buffer(out);
+            blk.gwrite(&out_buf[0], o1);
+            blk.gwrite(&out_buf[1], o2);
+            blk.gwrite(&out_buf[2], cur);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.dtoh(out), vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn time_advances_and_limit_trips() {
+        let mut c = ctx();
+        let buf = c.htod("x", &[0u32; 256]).unwrap();
+        assert!(c.elapsed_ms() > 0.0);
+        c.set_time_limit_ms(c.elapsed_ms() + 1e-6);
+        // one launch is fine (limit checked after)...
+        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        let r1 = c.launch("k", cfg, |blk| {
+            blk.charge_instr(1_000_000); // push past the limit
+            let _ = buf;
+            Ok(())
+        });
+        assert!(matches!(r1, Err(SimError::TimeLimit { .. })));
+        // ...and the next one fails fast
+        let r2 = c.launch("k2", cfg, |_| Ok(()));
+        assert!(matches!(r2, Err(SimError::TimeLimit { .. })));
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut c = GpuContext::new(CostParams::p100(), 64);
+        assert!(c.htod("small", &[1, 2, 3]).is_ok()); // 12 B
+        let err = c.htod("big", &[0u32; 100]).unwrap_err();
+        assert!(matches!(err, SimError::Oom(_)));
+    }
+
+    #[test]
+    fn kernel_error_propagates() {
+        let mut c = ctx();
+        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        let err = c
+            .launch("boom", cfg, |blk| {
+                if blk.block_idx == 2 {
+                    Err(KernelError::BufferOverflow { what: "buf[2]".into() })
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::Kernel(KernelError::BufferOverflow { .. })));
+    }
+
+    #[test]
+    fn stepped_launch_interleaves_blocks_fairly() {
+        // Four blocks consume from a shared atomic pool, one item per wave.
+        // Lockstep waves give each block ~a quarter of the pool — a
+        // run-to-completion schedule would let the first block drain it.
+        let mut c = ctx();
+        let pool = c.alloc("pool", 1).unwrap();
+        c.device.write_slice(pool, &[100]);
+        let taken = c.alloc("taken", 4).unwrap();
+        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        c.launch_stepped(
+            "drain",
+            cfg,
+            |_| Ok(()),
+            |blk, _| {
+                let p = &blk.device.buffer(pool)[0];
+                if p.load(Ordering::Relaxed) == 0 {
+                    return Ok(false);
+                }
+                blk.atomic_sub(p, 1);
+                let t = &blk.device.buffer(taken)[blk.block_idx as usize];
+                t.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            },
+        )
+        .unwrap();
+        let shares = c.dtoh(taken);
+        assert_eq!(shares.iter().sum::<u32>(), 100);
+        for (b, &s) in shares.iter().enumerate() {
+            assert!((20..=30).contains(&s), "block {b} took {s} of 100 — not fair");
+        }
+    }
+
+    #[test]
+    fn stepped_launch_records_and_charges() {
+        let mut c = ctx();
+        let cfg = LaunchConfig { blocks: 3, threads_per_block: 32 };
+        c.launch_stepped(
+            "steps",
+            cfg,
+            |blk| Ok(blk.block_idx + 2), // block b steps b+2 times
+            |blk, remaining| {
+                blk.charge_instr(10);
+                *remaining -= 1;
+                Ok(*remaining > 0)
+            },
+        )
+        .unwrap();
+        let rec = &c.launches()[0];
+        assert_eq!(rec.name, "steps");
+        // total steps = 2 + 3 + 4 = 9 → 90 instructions
+        assert_eq!(rec.counters.warp_instrs, 90);
+        assert_eq!(rec.max_block_cycles, 40.0);
+        assert_eq!(rec.sum_block_cycles, 90.0);
+    }
+
+    #[test]
+    fn stepped_launch_propagates_kernel_errors() {
+        let mut c = ctx();
+        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        let err = c
+            .launch_stepped(
+                "boom",
+                cfg,
+                |_| Ok(0u32),
+                |blk, n| {
+                    *n += 1;
+                    if blk.block_idx == 1 && *n == 3 {
+                        return Err(KernelError::Other("step failure".into()));
+                    }
+                    Ok(*n < 10)
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Kernel(KernelError::Other(_))));
+    }
+
+    #[test]
+    fn coalesced_tx_math() {
+        assert_eq!(BlockCtx::coalesced_tx(0), 0);
+        assert_eq!(BlockCtx::coalesced_tx(1), 1);
+        assert_eq!(BlockCtx::coalesced_tx(32), 1); // 128 B exactly
+        assert_eq!(BlockCtx::coalesced_tx(33), 2);
+        assert_eq!(BlockCtx::coalesced_tx(64), 2);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut c = ctx();
+        let buf = c.htod("x", &[0u32; 64]).unwrap();
+        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        for _ in 0..3 {
+            c.launch("k", cfg, |blk| {
+                blk.charge_instr(10);
+                let _ = buf;
+                Ok(())
+            })
+            .unwrap();
+        }
+        let rep = c.report();
+        assert_eq!(rep.launches, 3);
+        assert_eq!(rep.counters.warp_instrs, 60);
+        assert_eq!(rep.h2d_bytes, 256);
+        assert!(rep.total_ms > 0.0);
+        assert_eq!(rep.peak_mem_bytes, 256);
+    }
+}

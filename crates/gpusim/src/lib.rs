@@ -1,0 +1,56 @@
+//! A deterministic SIMT GPU simulator.
+//!
+//! The paper's contribution is a CUDA kernel suite; this workspace has no
+//! physical GPU, so the kernels run on this simulator instead (see DESIGN.md
+//! for the substitution argument). The simulator reproduces the two things
+//! the paper's claims rest on:
+//!
+//! 1. **Execution semantics** — grids of independent thread blocks; warps of
+//!    32 lanes executing in lockstep with divergence masking; per-block
+//!    shared memory; `__syncthreads`/`__syncwarp` barriers with
+//!    snapshot-consistent visibility; global-memory atomics
+//!    (`atomicAdd`/`atomicSub`); warp primitives (`__ballot_sync`,
+//!    `__shfl_sync`, `__popc`). Blocks genuinely run in parallel on host
+//!    threads; within a block, barrier-delimited phases execute
+//!    warp-by-warp with the visibility the barriers guarantee on hardware.
+//! 2. **A cost model** — every kernel accumulates per-block counters
+//!    (coalesced global transactions, atomics, shared-memory traffic, warp
+//!    instructions, barriers). Kernel time is a roofline:
+//!    `launch_overhead + max(compute makespan over SMs, bytes / bandwidth)`,
+//!    with constants calibrated to the paper's NVIDIA Tesla P100
+//!    ([`CostParams::p100`]).
+//!
+//! Device memory is a tracked arena: allocations update current/peak byte
+//! counts and fail with [`OomError`] beyond capacity — producing the
+//! paper's "OOM" table entries naturally.
+//!
+//! # Example
+//!
+//! ```
+//! use kcore_gpusim::{GpuContext, CostParams, LaunchConfig};
+//!
+//! let mut ctx = GpuContext::new(CostParams::p100(), 1 << 20);
+//! let data = ctx.htod("numbers", &[1, 2, 3, 4]).unwrap();
+//! let cfg = LaunchConfig { blocks: 2, threads_per_block: 64 };
+//! ctx.launch("double", cfg, |blk| {
+//!     let buf = blk.device.buffer(data);
+//!     // grid-stride loop over the 4 elements
+//!     for i in (blk.block_idx as usize..4).step_by(cfg.blocks as usize) {
+//!         let v = blk.gread(&buf[i]);
+//!         blk.gwrite(&buf[i], v * 2);
+//!     }
+//!     Ok(())
+//! }).unwrap();
+//! assert_eq!(ctx.dtoh(data), vec![2, 4, 6, 8]);
+//! assert!(ctx.elapsed_ms() > 0.0);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod exec;
+pub mod scan;
+pub mod warp;
+
+pub use cost::{CostParams, Counters, LaunchRecord, SimReport};
+pub use device::{BufferId, Device, OomError};
+pub use exec::{BlockCtx, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions};

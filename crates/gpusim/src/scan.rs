@@ -1,0 +1,280 @@
+//! Parallel prefix-sum ("scan") algorithms — the machinery behind the
+//! paper's compaction optimizations (§IV-C, Figs. 8 and 9).
+//!
+//! * [`hs_inclusive_scan`] — Hillis–Steele, `log n` SIMT steps (Fig. 8(b));
+//! * [`blelloch_exclusive_scan`] — work-efficient but `2 log n` steps, which
+//!   is why the paper adopts HS instead;
+//! * [`ballot_scan`] — the warp-level 0/1 scan via `__ballot_sync` + `__popc`
+//!   (Fig. 8(c)), the cheapest compaction offset computation;
+//! * [`block_two_stage_scan`] — the intra-block scan of Sengupta et al.
+//!   (Fig. 9): per-warp HS, warp-0 scan of warp sums, then offset add.
+
+use crate::exec::BlockCtx;
+use crate::warp::{ballot_sync, lane_mask_lt, shfl_up, WARP_SIZE};
+
+/// Hillis–Steele inclusive scan over one warp's lane values, in place.
+/// `ceil(log2(len))` shuffle+add steps, each one warp instruction pair.
+pub fn hs_inclusive_scan(blk: &mut BlockCtx<'_>, lanes: &mut [u32]) {
+    assert!(lanes.len() <= WARP_SIZE);
+    let n = lanes.len();
+    if n <= 1 {
+        return;
+    }
+    let mut delta = 1usize;
+    while delta < n {
+        let shifted = shfl_up(blk, lanes, delta);
+        blk.charge_instr(1); // the masked add
+        for i in delta..n {
+            lanes[i] += shifted[i];
+        }
+        delta <<= 1;
+    }
+}
+
+/// Blelloch work-efficient exclusive scan (upsweep + downsweep), in place.
+/// Runs `2·log2(len)` steps — "Blelloch algorithm needs twice the number of
+/// iterations" (§IV-C) — which is why BC/EC use HS or ballot instead.
+pub fn blelloch_exclusive_scan(blk: &mut BlockCtx<'_>, lanes: &mut [u32]) {
+    let n = lanes.len();
+    assert!(n <= WARP_SIZE && n.is_power_of_two() || n <= 1, "blelloch needs a power-of-two width");
+    if n <= 1 {
+        if n == 1 {
+            lanes[0] = 0;
+        }
+        return;
+    }
+    // upsweep
+    let mut d = 1usize;
+    while d < n {
+        blk.charge_instr(2); // index math + add per step
+        let mut i = 2 * d - 1;
+        while i < n {
+            lanes[i] += lanes[i - d];
+            i += 2 * d;
+        }
+        d <<= 1;
+    }
+    lanes[n - 1] = 0;
+    // downsweep
+    let mut d = n / 2;
+    while d >= 1 {
+        blk.charge_instr(2);
+        let mut i = 2 * d - 1;
+        while i < n {
+            let t = lanes[i - d];
+            lanes[i - d] = lanes[i];
+            lanes[i] += t;
+            i += 2 * d;
+        }
+        d /= 2;
+    }
+}
+
+/// Warp-level exclusive scan of 0/1 flags via ballot (Fig. 8(c)):
+/// returns `(exclusive offsets per lane, total ones)`.
+///
+/// Three warp instructions total (`__ballot_sync`, mask, `__popc`) —
+/// independent of the warp width, which is what makes it faster than HS.
+pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
+    assert!(flags.len() <= WARP_SIZE);
+    let bits = ballot_sync(blk, flags);
+    blk.charge_instr(2); // mask construction + __popc, one SIMT step each
+    let offsets: Vec<u32> =
+        (0..flags.len()).map(|lane| (bits & lane_mask_lt(lane)).count_ones()).collect();
+    (offsets, bits.count_ones())
+}
+
+/// Intra-block two-stage exclusive scan (Fig. 9) over one value per thread.
+///
+/// `values.len()` must equal the block's thread count. Stages:
+/// 1. each warp HS-scans its 32 lanes;
+/// 2. the last lane of each warp deposits the warp total (charged as shared
+///    memory traffic), then **warp 0 alone** scans the warp totals — the
+///    under-utilization the paper's §VI calls out ("only Warp 0 computes in
+///    Stages (2) and (3)");
+/// 3. every warp adds its warp-offset.
+///
+/// Block barriers separate the stages. Returns `(exclusive offsets, total)`.
+pub fn block_two_stage_scan(blk: &mut BlockCtx<'_>, values: &[u32]) -> (Vec<u32>, u32) {
+    let n = values.len();
+    assert_eq!(n, blk.cfg.threads_per_block as usize, "one value per thread");
+    let num_warps = n.div_ceil(WARP_SIZE);
+    assert!(num_warps <= WARP_SIZE, "warp totals must fit one warp");
+
+    // Stage 1: per-warp inclusive scans (warps run concurrently on hardware;
+    // we charge each warp's HS individually inside hs_inclusive_scan).
+    let mut inclusive = vec![0u32; n];
+    let mut warp_totals = vec![0u32; num_warps];
+    for w in 0..num_warps {
+        let lo = w * WARP_SIZE;
+        let hi = ((w + 1) * WARP_SIZE).min(n);
+        let mut lanes = values[lo..hi].to_vec();
+        hs_inclusive_scan(blk, &mut lanes);
+        warp_totals[w] = *lanes.last().unwrap_or(&0);
+        inclusive[lo..hi].copy_from_slice(&lanes);
+    }
+    // Stage 2: warp totals to shared memory, barrier, then warp 0 scans them
+    // (cannot use ballot scan here: "elements are not 0-1", §IV-C).
+    blk.counters.shared_accesses += num_warps as u64 * 2; // deposit + reload
+    blk.sync_threads();
+    let mut warp_offsets = warp_totals.clone();
+    hs_inclusive_scan(blk, &mut warp_offsets);
+    let total = *warp_offsets.last().unwrap_or(&0);
+    // convert inclusive warp sums to exclusive warp offsets
+    for w in (1..num_warps).rev() {
+        warp_offsets[w] = warp_offsets[w - 1];
+    }
+    if num_warps > 0 {
+        warp_offsets[0] = 0;
+    }
+    blk.sync_threads();
+    // Stage 3: each thread's exclusive offset = inclusive - own + warp offset
+    blk.charge_instr(num_warps as u64); // one SIMT add per warp
+    let offsets: Vec<u32> = (0..n)
+        .map(|i| inclusive[i] - values[i] + warp_offsets[i / WARP_SIZE])
+        .collect();
+    (offsets, total)
+}
+
+/// Host-side reference exclusive scan, for tests.
+pub fn reference_exclusive_scan(values: &[u32]) -> (Vec<u32>, u32) {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0u32;
+    for &v in values {
+        out.push(acc);
+        acc += v;
+    }
+    (out, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostParams, GpuContext, LaunchConfig};
+
+    fn with_block(threads: u32, f: impl Fn(&mut BlockCtx<'_>) + Sync) {
+        let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
+        let cfg = LaunchConfig { blocks: 1, threads_per_block: threads };
+        c.launch("t", cfg, |blk| {
+            f(blk);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn hs_matches_reference() {
+        with_block(32, |blk| {
+            let vals: Vec<u32> = (0..32).map(|i| (i * 7 + 3) % 5).collect();
+            let mut lanes = vals.clone();
+            hs_inclusive_scan(blk, &mut lanes);
+            let (ex, total) = reference_exclusive_scan(&vals);
+            for i in 0..32 {
+                assert_eq!(lanes[i], ex[i] + vals[i], "lane {i}");
+            }
+            assert_eq!(*lanes.last().unwrap(), total);
+        });
+    }
+
+    #[test]
+    fn hs_short_and_empty() {
+        with_block(32, |blk| {
+            let mut one = vec![5u32];
+            hs_inclusive_scan(blk, &mut one);
+            assert_eq!(one, vec![5]);
+            let mut empty: Vec<u32> = vec![];
+            hs_inclusive_scan(blk, &mut empty);
+            assert!(empty.is_empty());
+            let mut odd = vec![1u32, 2, 3, 4, 5];
+            hs_inclusive_scan(blk, &mut odd);
+            assert_eq!(odd, vec![1, 3, 6, 10, 15]);
+        });
+    }
+
+    #[test]
+    fn blelloch_matches_reference() {
+        with_block(32, |blk| {
+            let vals: Vec<u32> = (0..32).map(|i| i % 4).collect();
+            let mut lanes = vals.clone();
+            blelloch_exclusive_scan(blk, &mut lanes);
+            let (ex, _) = reference_exclusive_scan(&vals);
+            assert_eq!(lanes, ex);
+        });
+    }
+
+    #[test]
+    fn blelloch_takes_twice_the_steps_of_hs() {
+        // The §IV-C reason for picking HS: count charged instructions.
+        let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
+        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        let hs_cost = std::sync::atomic::AtomicU32::new(0);
+        let bl_cost = std::sync::atomic::AtomicU32::new(0);
+        c.launch("cmp", cfg, |blk| {
+            let mut v = [1u32; 32];
+            let before = blk.counters.warp_instrs;
+            if blk.block_idx == 0 {
+                hs_inclusive_scan(blk, &mut v);
+                hs_cost.store((blk.counters.warp_instrs - before) as u32, std::sync::atomic::Ordering::Relaxed);
+            } else {
+                blelloch_exclusive_scan(blk, &mut v);
+                bl_cost.store((blk.counters.warp_instrs - before) as u32, std::sync::atomic::Ordering::Relaxed);
+            }
+            Ok(())
+        })
+        .unwrap();
+        let (h, b) = (
+            hs_cost.load(std::sync::atomic::Ordering::Relaxed),
+            bl_cost.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        assert!(b > h, "blelloch {b} should cost more than HS {h}");
+    }
+
+    #[test]
+    fn ballot_scan_matches_reference() {
+        with_block(32, |blk| {
+            // the Fig. 8(a) example: p = [1,0,0,1,1,1,0,1]
+            let flags = [true, false, false, true, true, true, false, true];
+            let (off, total) = ballot_scan(blk, &flags);
+            assert_eq!(off, vec![0, 1, 1, 1, 2, 3, 4, 4]);
+            assert_eq!(total, 5);
+        });
+    }
+
+    #[test]
+    fn ballot_scan_cheaper_than_hs() {
+        with_block(32, |blk| {
+            let flags = [true; 32];
+            let before = blk.counters.warp_instrs;
+            let _ = ballot_scan(blk, &flags);
+            let ballot_cost = blk.counters.warp_instrs - before;
+            let before = blk.counters.warp_instrs;
+            let mut v = [1u32; 32];
+            hs_inclusive_scan(blk, &mut v);
+            let hs_cost = blk.counters.warp_instrs - before;
+            assert!(ballot_cost < hs_cost, "ballot {ballot_cost} vs hs {hs_cost}");
+        });
+    }
+
+    #[test]
+    fn block_scan_matches_reference() {
+        for threads in [32u32, 64, 256, 1024] {
+            with_block(threads, move |blk| {
+                let vals: Vec<u32> = (0..threads).map(|i| (i * 13 + 1) % 7).collect();
+                let (off, total) = block_two_stage_scan(blk, &vals);
+                let (ex, t) = reference_exclusive_scan(&vals);
+                assert_eq!(off, ex, "threads={threads}");
+                assert_eq!(total, t);
+            });
+        }
+    }
+
+    #[test]
+    fn block_scan_uses_barriers() {
+        with_block(1024, |blk| {
+            let vals = vec![1u32; 1024];
+            let before = blk.counters.barriers;
+            let _ = block_two_stage_scan(blk, &vals);
+            assert!(blk.counters.barriers >= before + 2, "two stage boundaries expected");
+        });
+    }
+}

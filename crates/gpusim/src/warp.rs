@@ -1,0 +1,119 @@
+//! Warp-level primitives (`__ballot_sync`, `__shfl_sync`, `__popc`).
+//!
+//! A warp is modelled as a slice of up to 32 lane values; a primitive is one
+//! SIMT instruction executed by the whole warp, charged accordingly.
+
+use crate::exec::BlockCtx;
+
+/// Lanes per warp.
+pub const WARP_SIZE: usize = 32;
+
+/// `__ballot_sync`: packs each lane's predicate into a 32-bit mask
+/// (lane `i` → bit `i`). One warp instruction.
+pub fn ballot_sync(blk: &mut BlockCtx<'_>, predicates: &[bool]) -> u32 {
+    assert!(predicates.len() <= WARP_SIZE);
+    blk.charge_instr(1);
+    let mut bits = 0u32;
+    for (i, &p) in predicates.iter().enumerate() {
+        if p {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// `__popc` on each lane's mask — one warp instruction for the whole warp.
+pub fn popc_lanes(blk: &mut BlockCtx<'_>, masks: &[u32]) -> Vec<u32> {
+    blk.charge_instr(1);
+    masks.iter().map(|m| m.count_ones()).collect()
+}
+
+/// `__shfl_sync` broadcast: every lane receives lane `src_lane`'s value.
+/// One warp instruction.
+pub fn shfl_broadcast(blk: &mut BlockCtx<'_>, values: &[u32], src_lane: usize) -> u32 {
+    assert!(src_lane < values.len());
+    blk.charge_instr(1);
+    values[src_lane]
+}
+
+/// `__shfl_up_sync(delta)`: lane `i` receives lane `i - delta`'s value (lanes
+/// below `delta` keep their own). One warp instruction. Used by the
+/// Hillis–Steele scan.
+pub fn shfl_up(blk: &mut BlockCtx<'_>, values: &[u32], delta: usize) -> Vec<u32> {
+    blk.charge_instr(1);
+    (0..values.len()).map(|i| if i >= delta { values[i - delta] } else { values[i] }).collect()
+}
+
+/// The mask of bits strictly below `lane` — the "last j bits" mask of the
+/// paper's Fig. 8(c) ballot-scan illustration.
+pub fn lane_mask_lt(lane: usize) -> u32 {
+    debug_assert!(lane < WARP_SIZE);
+    (1u32 << lane) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostParams, GpuContext, LaunchConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Runs `f` inside a one-block kernel and returns the instruction count.
+    fn in_block(f: impl Fn(&mut BlockCtx<'_>) + Sync) -> u64 {
+        let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
+        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        let instrs = AtomicU32::new(0);
+        c.launch("t", cfg, |blk| {
+            f(blk);
+            instrs.store(blk.counters.warp_instrs as u32, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        instrs.load(Ordering::Relaxed) as u64
+    }
+
+    #[test]
+    fn ballot_packs_bits() {
+        in_block(|blk| {
+            let preds = [true, false, true, true];
+            assert_eq!(ballot_sync(blk, &preds), 0b1101);
+            let all: Vec<bool> = vec![true; 32];
+            assert_eq!(ballot_sync(blk, &all), u32::MAX);
+            assert_eq!(ballot_sync(blk, &[]), 0);
+        });
+    }
+
+    #[test]
+    fn popc_counts() {
+        in_block(|blk| {
+            assert_eq!(popc_lanes(blk, &[0b1011, 0, u32::MAX]), vec![3, 0, 32]);
+        });
+    }
+
+    #[test]
+    fn broadcast_and_shfl_up() {
+        in_block(|blk| {
+            let vals = [10, 20, 30, 40];
+            assert_eq!(shfl_broadcast(blk, &vals, 2), 30);
+            assert_eq!(shfl_up(blk, &vals, 1), vec![10, 10, 20, 30]);
+            assert_eq!(shfl_up(blk, &vals, 2), vec![10, 20, 10, 20]);
+        });
+    }
+
+    #[test]
+    fn lane_masks() {
+        assert_eq!(lane_mask_lt(0), 0);
+        assert_eq!(lane_mask_lt(3), 0b111);
+        assert_eq!(lane_mask_lt(31), 0x7fff_ffff);
+    }
+
+    #[test]
+    fn primitives_charge_one_instruction_each() {
+        let n = in_block(|blk| {
+            let _ = ballot_sync(blk, &[true; 32]);
+            let _ = popc_lanes(blk, &[1; 32]);
+            let _ = shfl_broadcast(blk, &[1; 32], 0);
+            let _ = shfl_up(blk, &[1; 32], 4);
+        });
+        assert_eq!(n, 4);
+    }
+}

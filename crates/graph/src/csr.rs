@@ -1,0 +1,298 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! This is the exact layout the paper keeps in GPU global memory (§IV):
+//! a `neighbors` array concatenating all adjacency lists, an `offsets` array
+//! locating each vertex's list, and the degree of vertex `v` implied by
+//! `offsets[v + 1] - offsets[v]`.
+
+/// Vertex identifier. The paper assumes densely indexed 32-bit IDs
+/// (non-dense inputs are recoded by [`crate::recode`] / [`crate::GraphBuilder`]).
+pub type VertexId = u32;
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Invariants (enforced by [`Csr::new`] and checked by `debug_assert`s):
+///
+/// * `offsets.len() == num_vertices + 1`, `offsets[0] == 0`,
+///   `offsets` is non-decreasing and `offsets[n] == neighbors.len()`;
+/// * every neighbor ID is `< num_vertices`;
+/// * adjacency lists are sorted, contain no duplicates and no self-loops;
+/// * the graph is symmetric: `v ∈ adj(u)` ⇔ `u ∈ adj(v)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+/// Errors produced when validating raw CSR input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `offsets` was empty or did not end at `neighbors.len()`.
+    BadOffsets,
+    /// `offsets` decreased between two vertices.
+    NonMonotonicOffsets { vertex: VertexId },
+    /// A neighbor ID was out of range.
+    NeighborOutOfRange { vertex: VertexId, neighbor: VertexId },
+    /// An adjacency list contained a self-loop.
+    SelfLoop { vertex: VertexId },
+    /// An adjacency list was unsorted or contained duplicates.
+    UnsortedAdjacency { vertex: VertexId },
+    /// Edge `(u, v)` was present but `(v, u)` was not.
+    Asymmetric { u: VertexId, v: VertexId },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::BadOffsets => write!(f, "offsets array malformed"),
+            CsrError::NonMonotonicOffsets { vertex } => {
+                write!(f, "offsets decrease at vertex {vertex}")
+            }
+            CsrError::NeighborOutOfRange { vertex, neighbor } => {
+                write!(f, "vertex {vertex} has out-of-range neighbor {neighbor}")
+            }
+            CsrError::SelfLoop { vertex } => write!(f, "vertex {vertex} has a self-loop"),
+            CsrError::UnsortedAdjacency { vertex } => {
+                write!(f, "adjacency list of vertex {vertex} unsorted or has duplicates")
+            }
+            CsrError::Asymmetric { u, v } => {
+                write!(f, "edge ({u}, {v}) present but ({v}, {u}) missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+impl Csr {
+    /// Builds a CSR from raw arrays, validating every invariant.
+    ///
+    /// Prefer [`crate::GraphBuilder`] for constructing graphs from edges; this
+    /// entry point exists for loaders that already produce CSR data.
+    pub fn new(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self, CsrError> {
+        if offsets.is_empty() || *offsets.last().unwrap() != neighbors.len() as u64 || offsets[0] != 0 {
+            return Err(CsrError::BadOffsets);
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            if offsets[v] > offsets[v + 1] {
+                return Err(CsrError::NonMonotonicOffsets { vertex: v as VertexId });
+            }
+            let list = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            for (i, &u) in list.iter().enumerate() {
+                if u as usize >= n {
+                    return Err(CsrError::NeighborOutOfRange { vertex: v as VertexId, neighbor: u });
+                }
+                if u == v as VertexId {
+                    return Err(CsrError::SelfLoop { vertex: v as VertexId });
+                }
+                if i > 0 && list[i - 1] >= u {
+                    return Err(CsrError::UnsortedAdjacency { vertex: v as VertexId });
+                }
+            }
+        }
+        let csr = Csr { offsets, neighbors };
+        // Symmetry: every directed arc must have its reverse.
+        for v in 0..n as VertexId {
+            for &u in csr.neighbors(v) {
+                if csr.neighbors(u).binary_search(&v).is_err() {
+                    return Err(CsrError::Asymmetric { u: v, v: u });
+                }
+            }
+        }
+        Ok(csr)
+    }
+
+    /// Builds a CSR from pre-validated arrays without re-checking invariants.
+    ///
+    /// Used by [`crate::GraphBuilder`], which establishes the invariants by
+    /// construction. Debug builds still spot-check.
+    pub(crate) fn from_parts_unchecked(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len() as u64);
+        Csr { offsets, neighbors }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of *undirected* edges (each stored twice in `neighbors`).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.neighbors.len() as u64 / 2
+    }
+
+    /// Number of directed arcs, i.e. `neighbors.len()` — what the GPU moves.
+    #[inline]
+    pub fn num_arcs(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Adjacency list of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The raw offsets array (`num_vertices + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array.
+    #[inline]
+    pub fn neighbor_array(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Degrees of all vertices as a fresh array (the GPU `deg[]` input).
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|v| self.degree(v)).collect()
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// The induced subgraph on `keep` (given as a boolean mask), with vertex
+    /// IDs preserved (dropped vertices become isolated). Used by tests to
+    /// verify the k-core property.
+    pub fn induced_mask(&self, keep: &[bool]) -> Csr {
+        assert_eq!(keep.len(), self.num_vertices() as usize);
+        let n = keep.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u64);
+        for v in 0..n as VertexId {
+            if keep[v as usize] {
+                neighbors.extend(self.neighbors(v).iter().copied().filter(|&u| keep[u as usize]));
+            }
+            offsets.push(neighbors.len() as u64);
+        }
+        Csr::from_parts_unchecked(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Csr {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_offsets() {
+        assert_eq!(Csr::new(vec![], vec![]), Err(CsrError::BadOffsets));
+        assert_eq!(Csr::new(vec![0, 3], vec![1]), Err(CsrError::BadOffsets));
+        assert_eq!(
+            Csr::new(vec![0, 2, 1, 2], vec![1, 2]).unwrap_err(),
+            CsrError::NonMonotonicOffsets { vertex: 1 }
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_adjacency() {
+        // out of range
+        assert_eq!(
+            Csr::new(vec![0, 1, 2], vec![5, 0]).unwrap_err(),
+            CsrError::NeighborOutOfRange { vertex: 0, neighbor: 5 }
+        );
+        // self loop
+        assert_eq!(
+            Csr::new(vec![0, 1, 1], vec![0]).unwrap_err(),
+            CsrError::SelfLoop { vertex: 0 }
+        );
+        // duplicates
+        assert_eq!(
+            Csr::new(vec![0, 2, 2, 4], vec![1, 1, 0, 0]).unwrap_err(),
+            CsrError::UnsortedAdjacency { vertex: 0 }
+        );
+        // asymmetric
+        assert_eq!(
+            Csr::new(vec![0, 1, 1], vec![1]).unwrap_err(),
+            CsrError::Asymmetric { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn validation_accepts_valid() {
+        let g = triangle();
+        let again = Csr::new(g.offsets().to_vec(), g.neighbor_array().to_vec()).unwrap();
+        assert_eq!(again, g);
+    }
+
+    #[test]
+    fn induced_mask_drops_vertices() {
+        let g = triangle();
+        let sub = g.induced_mask(&[true, true, false]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.degree(0), 1);
+        assert_eq!(sub.neighbors(0), &[1]);
+        assert_eq!(sub.degree(2), 0);
+    }
+}

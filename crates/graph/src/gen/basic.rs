@@ -1,0 +1,131 @@
+//! Deterministic structured graphs, mainly for tests and sanity checks.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Complete graph `K_n`. `core(v) = n - 1` for every vertex.
+pub fn complete(n: u32) -> Csr {
+    let mut b = GraphBuilder::with_num_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (`n >= 3`). `core(v) = 2` everywhere.
+pub fn cycle(n: u32) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_num_vertices(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n);
+    }
+    b.build()
+}
+
+/// Path `P_n`. `core(v) = 1` everywhere (for `n >= 2`).
+pub fn path(n: u32) -> Csr {
+    let mut b = GraphBuilder::with_num_vertices(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Star with `leaves` leaves; vertex 0 is the center. `core(v) = 1`.
+pub fn star(leaves: u32) -> Csr {
+    let mut b = GraphBuilder::with_num_vertices(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// `rows × cols` grid. Interior cores are 2.
+pub fn grid(rows: u32, cols: u32) -> Csr {
+    let id = |r: u32, c: u32| r * cols + c;
+    let mut b = GraphBuilder::with_num_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`; parts are `0..a` and `a..a+b`.
+/// `core(v) = min(a, b)` everywhere.
+pub fn complete_bipartite(a: u32, b_size: u32) -> Csr {
+    let mut b = GraphBuilder::with_num_vertices(a + b_size);
+    for u in 0..a {
+        for v in a..(a + b_size) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn cycle_graph() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn path_graph() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn star_graph() {
+        let g = star(7);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn grid_graph() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+    }
+
+    #[test]
+    fn bipartite_graph() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Extremely skewed degree distributions.
+//!
+//! Stand-in for `trackers` / `wiki-Talk`-style networks, whose defining
+//! feature in Table I is a degree standard deviation orders of magnitude
+//! above the average (trackers: avg 10.2, std 2 774, d_max 11.57 M). These are
+//! produced by a handful of super-hubs (Google Analytics, admin bots)
+//! connected to a large fraction of the vertex set, on top of a sparse
+//! background.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sparse background + `hubs` super-hubs.
+///
+/// * `n` vertices, `m_background` uniform background edges;
+/// * vertex `h` (for `h < hubs`) is connected to a `hub_fraction` share of
+///   all vertices, so `d_max ≈ hub_fraction * n`.
+pub fn power_law_hubs(n: u32, m_background: u64, hubs: u32, hub_fraction: f64, seed: u64) -> Csr {
+    assert!(hubs < n);
+    assert!((0.0..=1.0).contains(&hub_fraction));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_num_vertices(n);
+    for _ in 0..m_background {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    for h in 0..hubs {
+        for v in hubs..n {
+            if rng.gen_bool(hub_fraction) {
+                b.add_edge(h, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn hubs_dominate_max_degree() {
+        let g = power_law_hubs(2_000, 3_000, 3, 0.5, 13);
+        let s = GraphStats::compute(&g);
+        // hubs reach ~1000 degree, background ~3
+        assert!(s.max_degree > 800, "d_max={}", s.max_degree);
+        assert!(s.degree_std > 5.0 * s.avg_degree, "std={} avg={}", s.degree_std, s.avg_degree);
+        // the max-degree vertex is one of the hubs
+        let argmax = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
+        assert!(argmax < 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(power_law_hubs(100, 200, 2, 0.3, 4), power_law_hubs(100, 200, 2, 0.3, 4));
+    }
+}

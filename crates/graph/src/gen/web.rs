@@ -1,0 +1,77 @@
+//! Web-crawl-like generator.
+//!
+//! Stand-in for the Table I web crawls (`web-Google`, `in-2004`, `uk-2002`,
+//! `it-2004`, …). Web graphs combine (a) host-local density — pages within a
+//! site link to each other heavily, yielding large `k_max` — with (b) a
+//! power-law global link structure. The generator plants dense host
+//! communities (near-cliques of geometric sizes) and wires them with an
+//! R-MAT-style skewed backbone.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Web-crawl-like graph.
+///
+/// * `n` vertices, grouped into hosts of geometric mean size `host_size`;
+/// * within a host, each pair is linked with probability `intra_p`
+///   (dense navigational templates);
+/// * `m_backbone` skewed cross-host links.
+pub fn web_crawl(n: u32, host_size: u32, intra_p: f64, m_backbone: u64, seed: u64) -> Csr {
+    assert!(host_size >= 2 && host_size <= n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_num_vertices(n);
+
+    // Partition 0..n into hosts with sizes geometric around `host_size`.
+    let mut start = 0u32;
+    while start < n {
+        let mut size = 2u32;
+        // geometric-ish: keep growing with probability (1 - 1/host_size)
+        while size < 4 * host_size && rng.gen_bool(1.0 - 1.0 / host_size as f64) {
+            size += 1;
+        }
+        let end = (start + size).min(n);
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen_bool(intra_p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        start = end;
+    }
+
+    // Skewed backbone: endpoint preference toward low IDs (popular portals),
+    // via a squared-uniform transform.
+    for _ in 0..m_backbone {
+        let r1: f64 = rng.gen();
+        let r2: f64 = rng.gen();
+        let u = ((r1 * r1) * n as f64) as u32 % n;
+        let v = rng.gen_range(0..n).min(((r2 * r2 * r2) * n as f64) as u32 % n);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn has_local_density_and_skew() {
+        let g = web_crawl(5_000, 12, 0.7, 10_000, 31);
+        let s = GraphStats::compute(&g);
+        assert!(s.avg_degree > 4.0, "avg={}", s.avg_degree);
+        assert!(s.max_degree as f64 > 4.0 * s.avg_degree);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(web_crawl(500, 8, 0.5, 500, 2), web_crawl(500, 8, 0.5, 500, 2));
+        assert_ne!(web_crawl(500, 8, 0.5, 500, 2), web_crawl(500, 8, 0.5, 500, 3));
+    }
+}

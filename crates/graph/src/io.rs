@@ -1,0 +1,275 @@
+//! Edge-list text I/O in the SNAP dataset format.
+//!
+//! The public datasets in the paper's Table I are distributed as whitespace-
+//! separated edge lists with `#`-prefixed comment lines (SNAP) or similar.
+//! [`parse_edge_list`] accepts that format (plus `%` comments used by KONECT)
+//! and produces a normalized undirected [`Csr`] via [`GraphBuilder`] and
+//! [`Recoder`] — directed inputs are symmetrized exactly as the paper does.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::recode::Recoder;
+
+/// Errors from edge-list loading.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A non-comment line did not contain two integer tokens.
+    Parse { line_no: usize, line: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line_no, line } => {
+                write!(f, "cannot parse edge at line {line_no}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader. Returns the graph and the recoder that
+/// maps external IDs to the dense internal IDs the graph uses.
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<(Csr, Recoder), IoError> {
+    let mut builder = GraphBuilder::new();
+    let mut recoder = Recoder::new();
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(IoError::Parse { line_no: idx + 1, line }),
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(IoError::Parse { line_no: idx + 1, line });
+        };
+        let u = recoder.encode(u);
+        let v = recoder.encode(v);
+        builder.add_edge(u, v);
+    }
+    Ok((builder.build(), recoder))
+}
+
+/// Loads an edge list file from disk.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<(Csr, Recoder), IoError> {
+    let f = std::fs::File::open(path)?;
+    parse_edge_list(f)
+}
+
+/// Parses a MatrixMarket coordinate file (the format the paper's LAW
+/// crawls are distributed in via sparse.tamu.edu). Supports
+/// `pattern`/`real`/`integer` fields and `general`/`symmetric` symmetry;
+/// entry values, if present, are ignored (the adjacency structure is what
+/// k-core needs). Entries are 1-indexed per the spec.
+pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    // Header line.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::Parse { line_no: 1, line: "<empty file>".into() })
+        .and_then(|(i, l)| l.map(|l| (i, l)).map_err(IoError::Io))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(IoError::Parse { line_no: 1, line: header });
+    }
+
+    // Dimension line (first non-comment).
+    let mut n_rows = 0u64;
+    let mut n_cols = 0u64;
+    let mut builder = GraphBuilder::new();
+    let mut dims_seen = false;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        if !dims_seen {
+            let (Some(r), Some(c)) = (it.next(), it.next()) else {
+                return Err(IoError::Parse { line_no: idx + 1, line });
+            };
+            let (Ok(r), Ok(c)) = (r.parse::<u64>(), c.parse::<u64>()) else {
+                return Err(IoError::Parse { line_no: idx + 1, line });
+            };
+            n_rows = r;
+            n_cols = c;
+            dims_seen = true;
+            continue;
+        }
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Parse { line_no: idx + 1, line });
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(IoError::Parse { line_no: idx + 1, line });
+        };
+        if u == 0 || v == 0 || u > n_rows || v > n_cols {
+            return Err(IoError::Parse { line_no: idx + 1, line });
+        }
+        builder.add_edge((u - 1) as u32, (v - 1) as u32);
+    }
+    if !dims_seen {
+        return Err(IoError::Parse { line_no: 2, line: "<missing dimension line>".into() });
+    }
+    let mut b = GraphBuilder::with_num_vertices(n_rows.max(n_cols) as u32);
+    b.extend_edges(builder.build().edges());
+    Ok(b.build())
+}
+
+/// Loads a MatrixMarket file from disk.
+pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<Csr, IoError> {
+    let f = std::fs::File::open(path)?;
+    parse_matrix_market(f)
+}
+
+/// Writes a graph as a SNAP-style edge list (each undirected edge once,
+/// `u < v`, internal IDs).
+pub fn write_edge_list<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# Undirected graph: {} nodes, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Saves a graph to a file in edge-list format.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Csr, path: P) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 4 Edges: 4
+100\t200
+200\t300
+% konect style comment
+300 100
+400 100
+";
+        let (g, rec) = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let a = rec.lookup(100).unwrap();
+        let b = rec.lookup(200).unwrap();
+        assert!(g.has_edge(a, b));
+    }
+
+    #[test]
+    fn symmetrizes_directed_pairs() {
+        let (g, _) = parse_edge_list("1 2\n2 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse_edge_list("1 2\nhello world\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line_no, .. } => assert_eq!(line_no, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_single_token_line() {
+        let err = parse_edge_list("1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line_no: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = crate::fig1_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, rec) = parse_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        // Same structure modulo recoding: degrees multiset must match.
+        let mut d1 = g.degrees();
+        let mut d2 = g2.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+        assert_eq!(rec.len() as u32, g.num_vertices());
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+% a triangle plus an isolated 4th vertex
+4 4 3
+1 2
+2 3
+3 1
+";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn matrix_market_with_values_and_general_symmetry() {
+        let text = "\
+%%MatrixMarket matrix coordinate real general
+3 3 4
+1 2 0.5
+2 1 0.5
+2 3 1.25
+3 3 9.0
+";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        // (1,2)+(2,1) dedup to one edge; (3,3) self-loop dropped
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(parse_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        let bad_idx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(parse_matrix_market(bad_idx.as_bytes()).is_err());
+        let zero_idx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(parse_matrix_market(zero_idx.as_bytes()).is_err());
+        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate pattern general\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = crate::fig1_graph();
+        let dir = std::env::temp_dir().join("kcore_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.txt");
+        save_edge_list(&g, &path).unwrap();
+        let (g2, _) = load_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,91 @@
+//! Dense ID recoding.
+//!
+//! The paper assumes vertex IDs are densely indexed; "if they are not, we can
+//! perform ID recoding of G as preprocessing" (§IV, citing Blogel). This
+//! module provides that preprocessing for loaders whose inputs use sparse or
+//! arbitrary 64-bit IDs.
+
+use rustc_hash::FxHashMap;
+
+/// Maps arbitrary external IDs to dense `0..n` internal IDs, preserving
+/// first-seen order, and remembers the inverse mapping.
+#[derive(Default, Debug, Clone)]
+pub struct Recoder {
+    to_dense: FxHashMap<u64, u32>,
+    to_external: Vec<u64>,
+}
+
+impl Recoder {
+    /// An empty recoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense ID for `external`, assigning the next free one on
+    /// first sight.
+    pub fn encode(&mut self, external: u64) -> u32 {
+        match self.to_dense.entry(external) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.to_external.len() as u32;
+                e.insert(id);
+                self.to_external.push(external);
+                id
+            }
+        }
+    }
+
+    /// The external ID originally mapped to dense `id`.
+    pub fn decode(&self, id: u32) -> Option<u64> {
+        self.to_external.get(id as usize).copied()
+    }
+
+    /// Dense ID already assigned to `external`, if any.
+    pub fn lookup(&self, external: u64) -> Option<u32> {
+        self.to_dense.get(&external).copied()
+    }
+
+    /// Number of distinct external IDs seen.
+    pub fn len(&self) -> usize {
+        self.to_external.len()
+    }
+
+    /// Whether no ID has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.to_external.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_dense_ids_in_first_seen_order() {
+        let mut r = Recoder::new();
+        assert_eq!(r.encode(1000), 0);
+        assert_eq!(r.encode(7), 1);
+        assert_eq!(r.encode(1000), 0);
+        assert_eq!(r.encode(u64::MAX), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut r = Recoder::new();
+        for ext in [42u64, 0, 999_999_999_999] {
+            let d = r.encode(ext);
+            assert_eq!(r.decode(d), Some(ext));
+            assert_eq!(r.lookup(ext), Some(d));
+        }
+        assert_eq!(r.decode(99), None);
+        assert_eq!(r.lookup(123), None);
+    }
+
+    #[test]
+    fn empty() {
+        let r = Recoder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Dataset statistics — the columns of the paper's Table I.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph: `|V|`, `|E|`, average degree, degree
+/// standard deviation, and max degree. (The Table I `k_max` column requires a
+/// decomposition and is computed by the bench harness with `kcore-cpu`.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of undirected edges.
+    pub num_edges: u64,
+    /// Average degree (`2|E| / |V|`).
+    pub avg_degree: f64,
+    /// Population standard deviation of the degree distribution.
+    pub degree_std: f64,
+    /// Maximum degree.
+    pub max_degree: u32,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g` in one pass over the degree array.
+    pub fn compute(g: &Csr) -> Self {
+        let n = g.num_vertices() as u64;
+        let m = g.num_edges();
+        if n == 0 {
+            return GraphStats { num_vertices: 0, num_edges: 0, avg_degree: 0.0, degree_std: 0.0, max_degree: 0 };
+        }
+        let mean = 2.0 * m as f64 / n as f64;
+        let mut var_acc = 0.0f64;
+        let mut dmax = 0u32;
+        for v in 0..g.num_vertices() {
+            let d = g.degree(v);
+            dmax = dmax.max(d);
+            let diff = d as f64 - mean;
+            var_acc += diff * diff;
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree: mean,
+            degree_std: (var_acc / n as f64).sqrt(),
+            max_degree: dmax,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} d_avg={:.1} std={:.1} d_max={}",
+            self.num_vertices, self.num_edges, self.avg_degree, self.degree_std, self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn empty() {
+        let s = GraphStats::compute(&Csr::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn star_graph() {
+        // star with center 0 and 4 leaves: degrees [4,1,1,1,1]
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        assert_eq!(s.max_degree, 4);
+        // variance = ((4-1.6)^2 + 4*(1-1.6)^2)/5 = (5.76 + 1.44)/5 = 1.44
+        assert!((s.degree_std - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_graph_zero_std() {
+        // 4-cycle: all degrees 2
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.degree_std, 0.0);
+        assert_eq!(s.avg_degree, 2.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Medusa-style vertex-centric BSP (Zhong & He, 2014).
+//!
+//! Medusa strictly mimics Pregel: users write `SendMessage` /
+//! `CombineMessage` / `UpdateVertex` UDFs and the runtime materializes a
+//! per-edge message array each superstep. The performance-relevant
+//! mechanics reproduced here:
+//!
+//! * **dense messaging** — *every* vertex writes a message on *every* arc,
+//!   every superstep, through a precomputed reverse index (scattered
+//!   writes);
+//! * **thread-per-vertex execution** — a warp serializes on the
+//!   largest-degree vertex among its 32 (no load-balanced advance in 2014);
+//! * **three kernels + a host round trip per superstep** (send,
+//!   combine/update, flag readback).
+//!
+//! Two programs, as in §V: [`mpm`] (h-index refinement) and [`peel`]
+//! (edge-centric peeling with an added outer round loop).
+
+use crate::{FrameworkCosts, SystemRun};
+use kcore_graph::Csr;
+use kcore_gpusim::{BlockCtx, BufferId, GpuContext, LaunchConfig, SimError, SimOptions};
+use std::sync::atomic::Ordering;
+
+/// Number of vertices a Medusa "block" owns per launch (vertex-partitioned).
+fn block_range(blk: &BlockCtx<'_>, n: usize) -> (usize, usize) {
+    let b = blk.block_idx as usize;
+    let blocks = blk.cfg.blocks as usize;
+    (b * n / blocks, (b + 1) * n / blocks)
+}
+
+/// Charges the thread-per-vertex divergence model: each 32-vertex group
+/// costs `max(degree in group) * cycles_per_msg` warp instructions.
+fn charge_vertex_groups(blk: &mut BlockCtx<'_>, degs: impl Iterator<Item = u32>, cycles_per_msg: u64) {
+    let mut group_max = 0u32;
+    let mut in_group = 0u32;
+    for d in degs {
+        group_max = group_max.max(d);
+        in_group += 1;
+        if in_group == 32 {
+            blk.charge_instr(group_max as u64 * cycles_per_msg);
+            group_max = 0;
+            in_group = 0;
+        }
+    }
+    if in_group > 0 {
+        blk.charge_instr(group_max as u64 * cycles_per_msg);
+    }
+}
+
+/// Device-side graph + messaging plumbing shared by both programs.
+struct MedusaDev {
+    n: usize,
+    d_offsets: BufferId,
+    /// Held for the device-footprint accounting (the runtime keeps the
+    /// adjacency resident even though the UDF programs read via `ridx`).
+    #[allow(dead_code)]
+    d_neighbors: BufferId,
+    d_ridx: BufferId,
+    d_msg: BufferId,
+    d_flag: BufferId,
+    launch: LaunchConfig,
+}
+
+impl MedusaDev {
+    fn load(ctx: &mut GpuContext, g: &Csr) -> Result<Self, SimError> {
+        let n = g.num_vertices() as usize;
+        let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
+        let d_offsets = ctx.htod("medusa.offset", &offsets32)?;
+        let d_neighbors = ctx.htod("medusa.neighbors", g.neighbor_array())?;
+        // Reverse index: arc j (u→v, at position j of u's list) delivers its
+        // message into v's incoming slot — the position of u in v's list.
+        let mut ridx = vec![0u32; g.num_arcs() as usize];
+        for u in 0..g.num_vertices() {
+            let base = g.offsets()[u as usize] as usize;
+            for (off, &v) in g.neighbors(u).iter().enumerate() {
+                let pos_in_v = g.neighbors(v).binary_search(&u).expect("symmetric graph");
+                ridx[base + off] = (g.offsets()[v as usize] as usize + pos_in_v) as u32;
+            }
+        }
+        let d_ridx = ctx.htod("medusa.ridx", &ridx)?;
+        let d_msg = ctx.alloc("medusa.msg", g.num_arcs() as usize)?;
+        // Medusa's runtime additionally materializes an edge list (source
+        // and destination arrays) for its edge-oriented message plumbing —
+        // part of why the system OOMs the large crawls in Table III/V.
+        let _d_esrc = ctx.alloc("medusa.edge_src", g.num_arcs() as usize)?;
+        let _d_edst = ctx.alloc("medusa.edge_dst", g.num_arcs() as usize)?;
+        let d_flag = ctx.alloc("medusa.flag", 1)?;
+        Ok(MedusaDev { n, d_offsets, d_neighbors, d_ridx, d_msg, d_flag, launch: LaunchConfig::paper() })
+    }
+
+    /// Host-side flag reset, charged as a tiny memset kernel.
+    fn reset_flag(&self, ctx: &mut GpuContext) -> Result<(), SimError> {
+        let flag = self.d_flag;
+        ctx.launch("medusa_memset", LaunchConfig { blocks: 1, threads_per_block: 32 }, move |blk| {
+            blk.gwrite(&blk.device.buffer(flag)[0], 0);
+            Ok(())
+        })
+    }
+}
+
+/// Medusa-MPM: every vertex repeatedly refines its core estimate with the
+/// h-index of its neighbors' estimates, under BSP supersteps, until no
+/// estimate changes.
+pub fn mpm(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<SystemRun, SimError> {
+    let mut ctx = opts.context();
+    let (core, iterations) = mpm_in(&mut ctx, g, costs)?;
+    Ok(SystemRun { core, iterations, report: ctx.report() })
+}
+
+/// [`mpm`] against a caller-owned context, so peak memory and partial time
+/// remain observable after an OOM or time-limit failure.
+pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    let dev = MedusaDev::load(ctx, g)?;
+    let d_a = ctx.htod("medusa.a", &g.degrees())?;
+    let d_a_new = ctx.alloc("medusa.a_new", n)?;
+
+    let mut iterations = 0u64;
+    let mut bufs = [d_a, d_a_new]; // ping-pong
+    loop {
+        iterations += 1;
+        dev.reset_flag(ctx)?;
+        let (cur, next) = (bufs[0], bufs[1]);
+
+        // SendMessage: a(v) broadcast to all neighbors through ridx.
+        ctx.launch("medusa_send", dev.launch, |blk| {
+            let d = blk.device;
+            let (lo, hi) = block_range(blk, dev.n);
+            let offsets = d.buffer(dev.d_offsets);
+            let ridx = d.buffer(dev.d_ridx);
+            let msg = d.buffer(dev.d_msg);
+            let a = d.buffer(cur);
+            charge_vertex_groups(
+                blk,
+                (lo..hi).map(|v| {
+                    offsets[v + 1].load(Ordering::Relaxed) - offsets[v].load(Ordering::Relaxed)
+                }),
+                costs.medusa_msg_cycles,
+            );
+            for v in lo..hi {
+                let (s, e) = (
+                    offsets[v].load(Ordering::Relaxed) as usize,
+                    offsets[v + 1].load(Ordering::Relaxed) as usize,
+                );
+                let av = a[v].load(Ordering::Relaxed);
+                blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1); // ridx + a[v]
+                blk.charge_sector((e - s) as u64); // scattered message writes
+                for j in s..e {
+                    let slot = ridx[j].load(Ordering::Relaxed) as usize;
+                    msg[slot].store(av, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        })?;
+
+        // CombineMessage (h-index) + UpdateVertex.
+        ctx.launch("medusa_update", dev.launch, |blk| {
+            let d = blk.device;
+            let (lo, hi) = block_range(blk, dev.n);
+            let offsets = d.buffer(dev.d_offsets);
+            let msg = d.buffer(dev.d_msg);
+            let a = d.buffer(cur);
+            let a_out = d.buffer(next);
+            let flag = &d.buffer(dev.d_flag)[0];
+            charge_vertex_groups(
+                blk,
+                (lo..hi).map(|v| {
+                    offsets[v + 1].load(Ordering::Relaxed) - offsets[v].load(Ordering::Relaxed)
+                }),
+                costs.medusa_hindex_cycles,
+            );
+            let mut scratch: Vec<u32> = Vec::new();
+            for v in lo..hi {
+                let (s, e) = (
+                    offsets[v].load(Ordering::Relaxed) as usize,
+                    offsets[v + 1].load(Ordering::Relaxed) as usize,
+                );
+                let cur_a = a[v].load(Ordering::Relaxed);
+                blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1);
+                let h = h_index_bounded(
+                    (s..e).map(|j| msg[j].load(Ordering::Relaxed)),
+                    cur_a,
+                    &mut scratch,
+                );
+                a_out[v].store(h, Ordering::Relaxed);
+                blk.charge_sector(1);
+                if h != cur_a {
+                    blk.atomic_add(flag, 1);
+                }
+            }
+            Ok(())
+        })?;
+
+        let changed = ctx.dtoh_word(dev.d_flag, 0);
+        bufs.swap(0, 1);
+        if changed == 0 {
+            break;
+        }
+    }
+    let core = ctx.dtoh(bufs[0]);
+    Ok((core, iterations))
+}
+
+/// Medusa-Peel: the edge-centric peeling program of §V, with the added
+/// outer loop of rounds. Every superstep all vertices send (0 or 1), the
+/// sum combiner counts deleted neighbors, and UpdateVertex decrements.
+pub fn peel(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<SystemRun, SimError> {
+    let mut ctx = opts.context();
+    let (core, iterations) = peel_in(&mut ctx, g, costs)?;
+    Ok(SystemRun { core, iterations, report: ctx.report() })
+}
+
+/// [`peel`] against a caller-owned context (see [`mpm_in`]).
+pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+    let n = g.num_vertices() as usize;
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    let dev = MedusaDev::load(ctx, g)?;
+    let d_deg = ctx.htod("medusa.deg", &g.degrees())?;
+    let d_core = ctx.alloc("medusa.core", n)?;
+    let d_deleted = ctx.alloc("medusa.deleted", n)?;
+
+    let mut iterations = 0u64;
+    let mut total_deleted = 0u64;
+    let mut k = 0u32;
+    while total_deleted < n as u64 {
+        // Inner BSP loop: supersteps until a superstep deletes nothing.
+        loop {
+            iterations += 1;
+            dev.reset_flag(ctx)?;
+
+            // SendMessage: k-shell members mark themselves deleted and send
+            // 1; everyone else sends 0. All m messages are materialized.
+            ctx.launch("medusa_send", dev.launch, |blk| {
+                let d = blk.device;
+                let (lo, hi) = block_range(blk, dev.n);
+                let offsets = d.buffer(dev.d_offsets);
+                let ridx = d.buffer(dev.d_ridx);
+                let msg = d.buffer(dev.d_msg);
+                let deg = d.buffer(d_deg);
+                let core = d.buffer(d_core);
+                let deleted = d.buffer(d_deleted);
+                let flag = &d.buffer(dev.d_flag)[0];
+                charge_vertex_groups(
+                    blk,
+                    (lo..hi).map(|v| {
+                        offsets[v + 1].load(Ordering::Relaxed) - offsets[v].load(Ordering::Relaxed)
+                    }),
+                    costs.medusa_msg_cycles,
+                );
+                for v in lo..hi {
+                    let (s, e) = (
+                        offsets[v].load(Ordering::Relaxed) as usize,
+                        offsets[v + 1].load(Ordering::Relaxed) as usize,
+                    );
+                    blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1);
+                    blk.charge_sector((e - s) as u64);
+                    let is_shell = deleted[v].load(Ordering::Relaxed) == 0
+                        && deg[v].load(Ordering::Relaxed) <= k;
+                    let m_val = if is_shell {
+                        core[v].store(k, Ordering::Relaxed);
+                        deleted[v].store(1, Ordering::Relaxed);
+                        blk.atomic_add(flag, 1);
+                        1
+                    } else {
+                        0
+                    };
+                    for j in s..e {
+                        let slot = ridx[j].load(Ordering::Relaxed) as usize;
+                        msg[slot].store(m_val, Ordering::Relaxed);
+                    }
+                }
+                Ok(())
+            })?;
+
+            // CombineMessage (sum) + UpdateVertex (degree decrement).
+            ctx.launch("medusa_update", dev.launch, |blk| {
+                let d = blk.device;
+                let (lo, hi) = block_range(blk, dev.n);
+                let offsets = d.buffer(dev.d_offsets);
+                let msg = d.buffer(dev.d_msg);
+                let deg = d.buffer(d_deg);
+                let deleted = d.buffer(d_deleted);
+                charge_vertex_groups(
+                    blk,
+                    (lo..hi).map(|v| {
+                        offsets[v + 1].load(Ordering::Relaxed) - offsets[v].load(Ordering::Relaxed)
+                    }),
+                    costs.medusa_sum_cycles,
+                );
+                for v in lo..hi {
+                    if deleted[v].load(Ordering::Relaxed) == 1 {
+                        continue;
+                    }
+                    let (s, e) = (
+                        offsets[v].load(Ordering::Relaxed) as usize,
+                        offsets[v + 1].load(Ordering::Relaxed) as usize,
+                    );
+                    blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1);
+                    let cnt: u32 = (s..e).map(|j| msg[j].load(Ordering::Relaxed)).sum();
+                    if cnt > 0 {
+                        let dv = deg[v].load(Ordering::Relaxed);
+                        deg[v].store(dv.saturating_sub(cnt), Ordering::Relaxed);
+                        blk.charge_sector(1);
+                    }
+                }
+                Ok(())
+            })?;
+
+            let deleted_now = ctx.dtoh_word(dev.d_flag, 0) as u64;
+            total_deleted += deleted_now;
+            if deleted_now == 0 {
+                break;
+            }
+        }
+        k += 1;
+        if k as usize > n + 1 {
+            return Err(SimError::Kernel(kcore_gpusim::KernelError::Other(
+                "medusa peel did not converge".into(),
+            )));
+        }
+    }
+    let core = ctx.dtoh(d_core);
+    Ok((core, iterations))
+}
+
+/// h-index with an upper bound (same operator as `kcore-cpu`, local copy to
+/// keep the crates decoupled).
+fn h_index_bounded(values: impl Iterator<Item = u32>, bound: u32, scratch: &mut Vec<u32>) -> u32 {
+    let b = bound as usize;
+    scratch.clear();
+    scratch.resize(b + 1, 0);
+    for v in values {
+        scratch[(v as usize).min(b)] += 1;
+    }
+    let mut at_least = 0u32;
+    for i in (1..=b).rev() {
+        at_least += scratch[i];
+        if at_least as usize >= i {
+            return i as u32;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::expect;
+    use kcore_graph::{fig1_graph, gen};
+
+    fn opts() -> SimOptions {
+        SimOptions::default()
+    }
+
+    #[test]
+    fn mpm_fig1() {
+        let g = fig1_graph();
+        let run = mpm(&g, &opts(), &FrameworkCosts::default()).unwrap();
+        assert_eq!(run.core, expect(&g));
+        assert!(run.iterations >= 2);
+    }
+
+    #[test]
+    fn peel_fig1() {
+        let g = fig1_graph();
+        let run = peel(&g, &opts(), &FrameworkCosts::default()).unwrap();
+        assert_eq!(run.core, expect(&g));
+    }
+
+    #[test]
+    fn both_agree_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::erdos_renyi_gnm(400, 1_600, seed);
+            let e = expect(&g);
+            assert_eq!(mpm(&g, &opts(), &FrameworkCosts::default()).unwrap().core, e);
+            assert_eq!(peel(&g, &opts(), &FrameworkCosts::default()).unwrap().core, e);
+        }
+    }
+
+    #[test]
+    fn peel_handles_isolated_vertices() {
+        let g = kcore_graph::Csr::empty(5);
+        let run = peel(&g, &opts(), &FrameworkCosts::default()).unwrap();
+        assert_eq!(run.core, vec![0; 5]);
+    }
+
+    #[test]
+    fn mpm_slower_than_fewer_supersteps_graph() {
+        // a path needs many supersteps; a clique converges immediately
+        let path = gen::path(128);
+        let clique = gen::complete(64);
+        let rp = mpm(&path, &opts(), &FrameworkCosts::default()).unwrap();
+        let rc = mpm(&clique, &opts(), &FrameworkCosts::default()).unwrap();
+        assert!(rp.iterations > rc.iterations);
+    }
+
+    #[test]
+    fn oom_on_tiny_device() {
+        let g = gen::erdos_renyi_gnm(1_000, 4_000, 1);
+        let small = SimOptions { device_capacity_bytes: 1 << 12, ..SimOptions::default() };
+        assert!(matches!(mpm(&g, &small, &FrameworkCosts::default()), Err(SimError::Oom(_))));
+    }
+
+    #[test]
+    fn time_limit_trips() {
+        let g = gen::erdos_renyi_gnm(2_000, 8_000, 2);
+        let o = SimOptions { time_limit_ms: Some(1e-6), ..SimOptions::default() };
+        assert!(matches!(
+            peel(&g, &o, &FrameworkCosts::default()),
+            Err(SimError::TimeLimit { .. })
+        ));
+    }
+}

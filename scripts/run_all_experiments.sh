@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Usage: scripts/run_all_experiments.sh [--smoke]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  export KCORE_SMOKE=1
+  echo "== smoke mode: miniature dataset subset =="
+fi
+
+mkdir -p results
+export KCORE_RESULTS_DIR="$PWD/results"
+
+cargo build --release -p kcore-bench
+
+for t in table1 table2 table3 table4 table5 fig10_case_study; do
+  echo "== $t =="
+  ./target/release/$t | tee "results/$t.txt"
+done
+
+echo "== criterion micro-benchmarks =="
+cargo bench -p kcore-bench
+
+echo "done — see results/ and EXPERIMENTS.md"

@@ -1,0 +1,31 @@
+//! `kcore` — umbrella crate for the *Accelerating k-Core Decomposition by a
+//! GPU* (ICDE 2023) reproduction suite.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests at the repository root exercise the whole public API:
+//!
+//! * [`graph`] — CSR substrate, generators, Table I dataset registry;
+//! * [`gpusim`] — the SIMT GPU simulator and cost model;
+//! * [`gpu`] — the paper's contribution: the optimized GPU peeling
+//!   algorithm and its Table II ablation variants;
+//! * [`cpu`] — CPU baselines (BZ, ParK, PKC, PKC-o, MPM, NetworkX-profile);
+//! * [`systems`] — GPU baselines (Medusa, Gunrock, GSWITCH, VETGA).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kcore::cpu::CoreAlgorithm;
+//!
+//! // Generate a graph, decompose it on the simulated GPU, cross-check on CPU.
+//! let g = kcore::graph::gen::rmat(10, 4_000, kcore::graph::gen::RmatParams::graph500(), 7);
+//! let gpu = kcore::gpu::decompose(&g, &kcore::gpu::PeelConfig::ours(),
+//!                                 &kcore::gpu::SimOptions::default()).unwrap();
+//! let cpu = kcore::cpu::bz::Bz.run(&g);
+//! assert_eq!(gpu.core, cpu);
+//! ```
+
+pub use kcore_cpu as cpu;
+pub use kcore_gpu as gpu;
+pub use kcore_gpusim as gpusim;
+pub use kcore_graph as graph;
+pub use kcore_systems as systems;

@@ -1,0 +1,136 @@
+//! Integration tests for the extension modules: multi-GPU decomposition
+//! (§VII future work), the direct GPU-MPM kernel, streaming core
+//! maintenance, and degeneracy-ordering applications — all cross-validated
+//! against the core pipeline.
+
+use kcore::cpu::{self, CoreAlgorithm};
+use kcore::gpu::{
+    decompose, decompose_multi, mpm_gpu, MultiGpuConfig, PeelConfig, SimOptions,
+};
+use kcore::graph::gen;
+use kcore::gpusim::LaunchConfig;
+use proptest::prelude::*;
+
+fn small_peel() -> PeelConfig {
+    PeelConfig {
+        launch: LaunchConfig { blocks: 8, threads_per_block: 64 },
+        buf_capacity: 4_096,
+        ..PeelConfig::default()
+    }
+}
+
+#[test]
+fn multi_gpu_matches_single_gpu_and_bz() {
+    let g = gen::web_crawl(4_000, 10, 0.6, 9_000, 12);
+    let truth = cpu::bz::Bz.run(&g);
+    let single = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
+    assert_eq!(single.core, truth);
+    for gpus in [2, 4, 7] {
+        let cfg = MultiGpuConfig { num_gpus: gpus, peel: small_peel(), ..MultiGpuConfig::default() };
+        let multi = decompose_multi(&g, &cfg, &SimOptions::default()).unwrap();
+        assert_eq!(multi.core, truth, "{gpus} GPUs");
+        assert_eq!(multi.k_max, single.k_max);
+    }
+}
+
+#[test]
+fn multi_gpu_memory_splits_but_totals_more() {
+    // each worker holds its slice plus replicated degree arrays, so the
+    // total footprint exceeds single-GPU, while the per-worker max shrinks —
+    // the trade §VII is about.
+    let g = gen::rmat(12, 30_000, gen::RmatParams::graph500(), 5);
+    let single = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
+    let cfg = MultiGpuConfig { num_gpus: 4, peel: small_peel(), ..MultiGpuConfig::default() };
+    let multi = decompose_multi(&g, &cfg, &SimOptions::default()).unwrap();
+    assert_eq!(multi.core, single.core);
+    assert!(multi.total_peak_mem_bytes > single.report.peak_mem_bytes);
+}
+
+#[test]
+fn gpu_mpm_agrees_and_pays_more_total_work_than_peeling() {
+    // MPM recomputes vertices many times (its total workload exceeds
+    // peeling's — the §I trade-off), but every implementation agrees.
+    let g = gen::rmat(12, 25_000, gen::RmatParams::graph500(), 8);
+    let truth = cpu::bz::Bz.run(&g);
+    let peel = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
+    let mpm = mpm_gpu::decompose_mpm(&g, &SimOptions::default()).unwrap();
+    assert_eq!(peel.core, truth);
+    assert_eq!(mpm.core, truth);
+    // total traffic of MPM exceeds peeling's (each sweep touches all arcs)
+    let peel_traffic = peel.report.counters.global_tx + peel.report.counters.global_sectors;
+    let mpm_traffic = mpm.report.counters.global_tx + mpm.report.counters.global_sectors;
+    assert!(
+        mpm_traffic > peel_traffic,
+        "MPM traffic {mpm_traffic} should exceed peeling's {peel_traffic}"
+    );
+}
+
+#[test]
+fn incremental_maintenance_tracks_growing_snapshot() {
+    // mirror the temporal case study: maintain cores incrementally while the
+    // co-authorship network grows; cross-check against full recomputation.
+    let params = kcore::graph::gen::temporal::CorpusParams {
+        start_year: 1990,
+        end_year: 1996,
+        papers_first_year: 25,
+        ..Default::default()
+    };
+    let corpus = kcore::graph::gen::temporal::generate_corpus(&params, 4);
+    let final_g = corpus.interaction_snapshot(1996);
+    let mut dyn_g = cpu::incremental::DynamicGraph::new(final_g.num_vertices() as usize);
+    for (u, v) in final_g.edges() {
+        dyn_g.insert_edge(u, v);
+    }
+    assert_eq!(dyn_g.cores(), &cpu::bz::Bz.run(&final_g)[..]);
+}
+
+#[test]
+fn degeneracy_order_consistent_with_gpu_cores() {
+    let g = gen::plant_clique(&gen::erdos_renyi_gnm(1_500, 4_000, 2), 18, 3);
+    let run = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
+    let (_, degeneracy) = cpu::degeneracy::degeneracy_order(&g);
+    assert_eq!(degeneracy, run.k_max);
+    // clique pruning keeps exactly the deep-core survivors
+    let (survivors, _) = cpu::degeneracy::prune_for_clique(&g, run.k_max + 1);
+    for &v in &survivors {
+        assert!(run.core[v as usize] >= run.k_max);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multi-GPU agrees with BZ over random graphs and worker counts.
+    #[test]
+    fn multi_gpu_random(seed in 0u64..500, gpus in 1usize..6) {
+        let g = gen::erdos_renyi_gnm(120, 420, seed);
+        let cfg = MultiGpuConfig { num_gpus: gpus, peel: small_peel(), ..MultiGpuConfig::default() };
+        let run = decompose_multi(&g, &cfg, &SimOptions::default()).unwrap();
+        prop_assert_eq!(run.core, cpu::bz::Bz.run(&g));
+    }
+
+    /// Incremental insert+remove round trip restores the original cores.
+    #[test]
+    fn incremental_round_trip(seed in 0u64..500) {
+        let g = gen::erdos_renyi_gnm(60, 150, seed);
+        let mut dg = cpu::incremental::DynamicGraph::from_csr(&g);
+        let before = dg.cores().to_vec();
+        // add a random batch of extra edges, then remove them again
+        let extra = gen::erdos_renyi_gnm(60, 80, seed ^ 0xABCD);
+        let added: Vec<(u32, u32)> =
+            extra.edges().filter(|&(u, v)| dg.insert_edge(u, v)).collect();
+        for &(u, v) in added.iter().rev() {
+            prop_assert!(dg.remove_edge(u, v));
+        }
+        prop_assert_eq!(dg.cores(), &before[..]);
+    }
+
+    /// GPU MPM equals GPU peeling on random graphs.
+    #[test]
+    fn gpu_mpm_random(seed in 0u64..500) {
+        let g = gen::erdos_renyi_gnm(100, 350, seed);
+        let a = mpm_gpu::decompose_mpm(&g, &SimOptions::default()).unwrap().core;
+        let b = decompose(&g, &small_peel(), &SimOptions::default()).unwrap().core;
+        prop_assert_eq!(a, b);
+    }
+}

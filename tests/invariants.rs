@@ -1,0 +1,140 @@
+//! Property-based tests of the k-core definition and the suite's invariants,
+//! over randomly generated graphs.
+
+use kcore::cpu::{self, CoreAlgorithm};
+use kcore::gpu::{decompose, PeelConfig, SimOptions};
+use kcore::graph::{builder::from_edges, Csr};
+use kcore::gpusim::LaunchConfig;
+use proptest::prelude::*;
+
+/// Strategy: a random simple undirected graph with up to `n` vertices.
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+fn gpu_cfg() -> PeelConfig {
+    PeelConfig {
+        launch: LaunchConfig { blocks: 4, threads_per_block: 64 },
+        buf_capacity: 4_096,
+        shared_buf_capacity: 64,
+        ..PeelConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BZ output satisfies the definitional checker (consistency at own
+    /// level + maximality).
+    #[test]
+    fn bz_satisfies_definition(g in graph_strategy(60, 240)) {
+        let core = cpu::bz::Bz.run(&g);
+        prop_assert_eq!(cpu::verify::check_core_numbers(&g, &core), Ok(()));
+    }
+
+    /// core(v) <= deg(v), and the k-core induced subgraph has min degree >= k
+    /// for every k up to k_max.
+    #[test]
+    fn kcore_min_degree_property(g in graph_strategy(50, 200)) {
+        let core = cpu::bz::Bz.run(&g);
+        for (v, &c) in core.iter().enumerate() {
+            prop_assert!(c <= g.degree(v as u32));
+        }
+        let km = cpu::k_max(&core);
+        for k in 1..=km {
+            let mask = cpu::kcore_mask(&core, k);
+            let sub = g.induced_mask(&mask);
+            for v in 0..g.num_vertices() {
+                if mask[v as usize] {
+                    prop_assert!(sub.degree(v) >= k, "k={} vertex {} degree {}", k, v, sub.degree(v));
+                }
+            }
+        }
+    }
+
+    /// Shells partition the vertex set.
+    #[test]
+    fn shells_partition(g in graph_strategy(50, 200)) {
+        let core = cpu::bz::Bz.run(&g);
+        let shells = cpu::shells(&core);
+        let total: usize = shells.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.num_vertices() as usize);
+        // each vertex appears in exactly its own shell
+        for (k, shell) in shells.iter().enumerate() {
+            for &v in shell {
+                prop_assert_eq!(core[v as usize] as usize, k);
+            }
+        }
+    }
+
+    /// GPU decomposition equals BZ on random graphs (the core soundness
+    /// property of the whole reproduction).
+    #[test]
+    fn gpu_matches_bz(g in graph_strategy(48, 200)) {
+        let truth = cpu::bz::Bz.run(&g);
+        let run = decompose(&g, &gpu_cfg(), &SimOptions::default()).unwrap();
+        prop_assert_eq!(run.core, truth);
+    }
+
+    /// All nine GPU variants agree with each other.
+    #[test]
+    fn gpu_variants_agree(g in graph_strategy(40, 150)) {
+        let opts = SimOptions::default();
+        let base = decompose(&g, &gpu_cfg(), &opts).unwrap().core;
+        for cfg in gpu_cfg().all_variants() {
+            let run = decompose(&g, &cfg, &opts).unwrap();
+            prop_assert_eq!(&run.core, &base, "variant {}", cfg.variant_name());
+        }
+    }
+
+    /// Parallel CPU algorithms are deterministic in their *result* despite
+    /// scheduling nondeterminism.
+    #[test]
+    fn parallel_results_deterministic(g in graph_strategy(40, 160)) {
+        let a = cpu::pkc::ParallelPkc { threads: 4 }.run(&g);
+        let b = cpu::pkc::ParallelPkc { threads: 4 }.run(&g);
+        let c = cpu::park::ParallelPark { threads: 3 }.run(&g);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// MPM's estimate sequence is monotone: the fixpoint is bounded above by
+    /// the degree and below by the true core.
+    #[test]
+    fn mpm_bounds(g in graph_strategy(40, 160)) {
+        let truth = cpu::bz::Bz.run(&g);
+        let est = cpu::mpm::SerialMpm.run(&g);
+        for v in 0..g.num_vertices() as usize {
+            prop_assert!(est[v] <= g.degree(v as u32));
+            prop_assert_eq!(est[v], truth[v]);
+        }
+    }
+
+    /// The hierarchy attaches every vertex at its own core level, and
+    /// parents are at strictly shallower levels.
+    #[test]
+    fn hierarchy_structure(g in graph_strategy(40, 160)) {
+        let core = cpu::bz::Bz.run(&g);
+        let h = cpu::hcd::build_hierarchy(&g, &core);
+        for (v, &node) in h.vertex_node.iter().enumerate() {
+            prop_assert_eq!(h.nodes[node].k, core[v]);
+        }
+        for node in &h.nodes {
+            if let Some(p) = node.parent {
+                prop_assert!(h.nodes[p].k < node.k);
+            }
+        }
+    }
+
+    /// Degeneracy bound: k_max <= max degree, and k_max*(k_max+1)/2 <= |E|.
+    #[test]
+    fn kmax_bounds(g in graph_strategy(50, 200)) {
+        let core = cpu::bz::Bz.run(&g);
+        let km = cpu::k_max(&core) as u64;
+        prop_assert!(km <= g.max_degree() as u64);
+        prop_assert!(km * (km + 1) / 2 <= g.num_edges());
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end simulator behaviours the evaluation relies on: memory
+//! footprints order the implementations the way Table V does, time budgets
+//! produce "> 1hr" outcomes, OOM points differ by framework, and the cost
+//! model's qualitative orderings (Ours fastest among GPU programs; BC
+//! cheaper than EC) hold on a mid-size graph.
+
+use kcore::cpu::CoreAlgorithm;
+use kcore::gpu::{decompose, decompose_in, PeelConfig, SimOptions};
+use kcore::graph::gen;
+use kcore::gpusim::{SimError, LaunchConfig};
+use kcore::systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
+
+fn mid_graph() -> kcore::graph::Csr {
+    // relabel: break R-MAT's hub-at-low-ID correlation, as the dataset
+    // registry does (see kcore_graph::gen::relabel)
+    gen::relabel(&gen::rmat(13, 60_000, gen::RmatParams::graph500(), 17), 1)
+}
+
+/// Harness-style environment for a ~1/1000-scale graph: fixed per-event
+/// costs (kernel launch, PCIe round trips) are scaled down with the graph so
+/// the fixed-to-variable cost ratio matches the paper's scale — otherwise a
+/// miniature graph is entirely launch-bound and hides every ordering the
+/// tables measure (see kcore-bench's docs).
+const SCALE: f64 = 1_000.0;
+
+fn opts() -> SimOptions {
+    let mut o = SimOptions::default();
+    o.cost.kernel_launch_s /= SCALE;
+    o.cost.pcie_latency_s /= SCALE;
+    o.cost.barrier_cycles = 1.0; // one-warp blocks
+    o
+}
+
+fn costs() -> FrameworkCosts {
+    FrameworkCosts::default().scaled(SCALE)
+}
+
+fn cfg() -> PeelConfig {
+    PeelConfig {
+        // scaled geometry, as the harness derives it: BLK_DIM shrinks with
+        // the vertex count so blocks keep multiple grid-stride stripes
+        launch: LaunchConfig { blocks: 108, threads_per_block: 32 },
+        buf_capacity: 512, // ~1 M IDs / scale, as the harness sizes it
+        shared_buf_capacity: 64,
+        ..PeelConfig::default()
+    }
+}
+
+#[test]
+fn ours_is_fastest_gpu_program() {
+    let g = mid_graph();
+    let opts = opts();
+    let costs = costs();
+    let truth = kcore::cpu::bz::Bz.run(&g);
+    let k_max = kcore::cpu::k_max(&truth);
+
+    let ours = decompose(&g, &cfg(), &opts).unwrap().report.total_ms;
+    let gsw = gswitch::peel(&g, k_max, &opts, &costs).unwrap().report.total_ms;
+    let gun = gunrock::peel(&g, &opts, &costs).unwrap().report.total_ms;
+    let med_peel = medusa::peel(&g, &opts, &costs).unwrap().report.total_ms;
+    let med_mpm = medusa::mpm(&g, &opts, &costs).unwrap().report.total_ms;
+    let vet = vetga::peel(&g, &opts, &costs).unwrap().run.report.total_ms;
+
+    // Table III's ordering. (Medusa-Peel vs Medusa-MPM flips by dataset in
+    // the paper itself — e.g. patentcite has MPM faster — so we only assert
+    // both are far behind Gunrock.)
+    assert!(ours < gsw, "Ours {ours} !< GSwitch {gsw}");
+    assert!(ours < vet, "Ours {ours} !< VETGA {vet}");
+    assert!(gsw < gun, "GSwitch {gsw} !< Gunrock {gun}");
+    assert!(gun < med_peel, "Gunrock {gun} !< Medusa-Peel {med_peel}");
+    assert!(gun < med_mpm, "Gunrock {gun} !< Medusa-MPM {med_mpm}");
+}
+
+#[test]
+fn memory_footprints_order_like_table5() {
+    let g = mid_graph();
+    let opts = opts();
+    let costs = costs();
+
+    // Use a modest buffer budget for Ours, as the harness does.
+    let ours = decompose(&g, &cfg(), &opts).unwrap().report.peak_mem_bytes;
+    let gsw = gswitch::peel(&g, 64, &opts, &costs).unwrap().report.peak_mem_bytes;
+    let gun = gunrock::peel(&g, &opts, &costs).unwrap().report.peak_mem_bytes;
+    let med = medusa::peel(&g, &opts, &costs).unwrap().report.peak_mem_bytes;
+    let vet = vetga::peel(&g, &opts, &costs).unwrap().run.report.peak_mem_bytes;
+
+    assert!(ours < gsw, "Ours {ours} !< GSwitch {gsw}");
+    assert!(gsw < gun, "GSwitch {gsw} !< Gunrock {gun}");
+    assert!(gun < med, "Gunrock {gun} !< Medusa {med}");
+    assert!(ours < vet, "Ours {ours} !< VETGA {vet}");
+}
+
+#[test]
+fn oom_points_differ_by_framework() {
+    let g = mid_graph();
+    // Pick a capacity between Ours' footprint and Medusa's: Ours fits,
+    // Medusa OOMs — the Table III/V cut.
+    let opts = opts();
+    let ours_peak = decompose(&g, &cfg(), &opts).unwrap().report.peak_mem_bytes;
+    let costs = costs();
+    let med_peak = medusa::peel(&g, &opts, &costs).unwrap().report.peak_mem_bytes;
+    assert!(med_peak > ours_peak);
+    let capacity = (ours_peak + med_peak) / 2;
+
+    let tight = SimOptions { device_capacity_bytes: capacity, ..opts.clone() };
+    assert!(decompose(&g, &cfg(), &tight).is_ok(), "Ours should fit in {capacity} B");
+    assert!(
+        matches!(medusa::peel(&g, &tight, &costs), Err(SimError::Oom(_))),
+        "Medusa should OOM in {capacity} B"
+    );
+}
+
+#[test]
+fn time_budget_produces_over_hour_outcomes() {
+    let g = mid_graph();
+    let costs = costs();
+    // Budget below Medusa-MPM's needs but above Ours'.
+    let opts = opts();
+    let ours_ms = decompose(&g, &cfg(), &opts).unwrap().report.total_ms;
+    let budget = SimOptions { time_limit_ms: Some(ours_ms * 3.0), ..opts.clone() };
+    assert!(decompose(&g, &cfg(), &budget).is_ok());
+    assert!(matches!(
+        medusa::mpm(&g, &budget, &costs),
+        Err(SimError::TimeLimit { .. })
+    ));
+}
+
+#[test]
+fn compaction_ordering_matches_table2() {
+    // On a mid-size graph the §VI ablation ordering holds:
+    // Ours <= BC <= EC in simulated time.
+    let g = mid_graph();
+    let opts = opts();
+    let t = |c: PeelConfig| decompose(&g, &c, &opts).unwrap().report.total_ms;
+    let ours = t(cfg());
+    let bc = t(cfg().with_compaction(kcore::gpu::Compaction::Ballot));
+    let ec = t(cfg().with_compaction(kcore::gpu::Compaction::Efficient));
+    assert!(ours < bc, "Ours {ours} !< BC {bc}");
+    assert!(bc < ec, "BC {bc} !< EC {ec}");
+}
+
+#[test]
+fn partial_state_observable_after_failure() {
+    // The `_in` API exposes peak memory even when the run fails on time.
+    let g = mid_graph();
+    let opts = SimOptions { time_limit_ms: Some(0.05), ..opts() };
+    let mut ctx = opts.context();
+    let res = decompose_in(&mut ctx, &g, &cfg());
+    assert!(matches!(res, Err(SimError::TimeLimit { .. })));
+    assert!(ctx.device.peak_bytes() > 0, "allocations happened before the deadline");
+    assert!(ctx.elapsed_ms() >= 0.05);
+}
+
+#[test]
+fn gpu_count_rounds_match_kmax() {
+    let g = gen::plant_clique(&gen::erdos_renyi_gnm(500, 1_000, 4), 12, 5);
+    let run = decompose(&g, &cfg(), &SimOptions::default()).unwrap();
+    assert_eq!(run.rounds, run.k_max + 1);
+    assert_eq!(run.report.launches as u32, 2 * run.rounds);
+}
