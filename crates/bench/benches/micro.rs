@@ -14,9 +14,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kcore_cpu::CoreAlgorithm;
 use kcore_gpu::{decompose, PeelConfig, SimOptions};
-use kcore_graph::gen;
 use kcore_gpusim::scan::{ballot_scan, blelloch_exclusive_scan, hs_inclusive_scan};
 use kcore_gpusim::{CostParams, GpuContext, LaunchConfig};
+use kcore_graph::gen;
 use std::hint::black_box;
 
 fn bench_warp_scans(c: &mut Criterion) {
@@ -24,36 +24,57 @@ fn bench_warp_scans(c: &mut Criterion) {
     group.bench_function("hillis_steele", |b| {
         let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
         b.iter(|| {
-            ctx.launch("hs", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
-                let mut lanes = [1u32; 32];
-                hs_inclusive_scan(blk, black_box(&mut lanes));
-                black_box(lanes[31]);
-                Ok(())
-            })
+            ctx.launch(
+                "hs",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    let mut lanes = [1u32; 32];
+                    hs_inclusive_scan(blk, black_box(&mut lanes));
+                    black_box(lanes[31]);
+                    Ok(())
+                },
+            )
             .unwrap();
         })
     });
     group.bench_function("blelloch", |b| {
         let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
         b.iter(|| {
-            ctx.launch("bl", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
-                let mut lanes = [1u32; 32];
-                blelloch_exclusive_scan(blk, black_box(&mut lanes));
-                black_box(lanes[31]);
-                Ok(())
-            })
+            ctx.launch(
+                "bl",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    let mut lanes = [1u32; 32];
+                    blelloch_exclusive_scan(blk, black_box(&mut lanes));
+                    black_box(lanes[31]);
+                    Ok(())
+                },
+            )
             .unwrap();
         })
     });
     group.bench_function("ballot", |b| {
         let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
         b.iter(|| {
-            ctx.launch("ba", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
-                let flags = [true; 32];
-                let (off, total) = ballot_scan(blk, black_box(&flags));
-                black_box((off, total));
-                Ok(())
-            })
+            ctx.launch(
+                "ba",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    let flags = [true; 32];
+                    let (off, total) = ballot_scan(blk, black_box(&flags));
+                    black_box((off, total));
+                    Ok(())
+                },
+            )
             .unwrap();
         })
     });
@@ -101,7 +122,10 @@ fn bench_cpu_algorithms(c: &mut Criterion) {
 fn bench_gpu_variants(c: &mut Criterion) {
     let g = gen::rmat(12, 20_000, gen::RmatParams::graph500(), 7);
     let base = PeelConfig {
-        launch: LaunchConfig { blocks: 16, threads_per_block: 256 },
+        launch: LaunchConfig {
+            blocks: 16,
+            threads_per_block: 256,
+        },
         buf_capacity: 16_384,
         shared_buf_capacity: 512,
         ..PeelConfig::default()

@@ -25,7 +25,11 @@ struct Results {
 fn min_buf_capacity(e: &kcore_bench::Env, ring: bool) -> usize {
     // exponential + binary search for the smallest capacity that completes
     let ok = |cap: usize| {
-        let cfg = PeelConfig { buf_capacity: cap, ring_buffer: ring, ..e.peel_cfg };
+        let cfg = PeelConfig {
+            buf_capacity: cap,
+            ring_buffer: ring,
+            ..e.peel_cfg
+        };
         match decompose(&e.graph, &cfg, &e.sim) {
             Ok(run) => {
                 assert_eq!(run.core, e.truth);
@@ -61,7 +65,11 @@ fn main() {
     for name in names {
         let e = prepare(kcore_graph::datasets::by_name(name).unwrap());
         for gpus in [1usize, 2, 4, 8] {
-            let cfg = MultiGpuConfig { num_gpus: gpus, peel: e.peel_cfg, ..MultiGpuConfig::default() };
+            let cfg = MultiGpuConfig {
+                num_gpus: gpus,
+                peel: e.peel_cfg,
+                ..MultiGpuConfig::default()
+            };
             let run = decompose_multi(&e.graph, &cfg, &e.sim).expect("multi-gpu");
             assert_eq!(run.core, e.truth, "{name} x{gpus}");
             rows.push(vec![
@@ -71,7 +79,13 @@ fn main() {
                 run.sub_rounds.to_string(),
                 format!("{:.1}", run.exchanged_bytes as f64 / 1024.0),
             ]);
-            out.multi_gpu.push((name.into(), gpus, run.total_ms, run.sub_rounds, run.exchanged_bytes));
+            out.multi_gpu.push((
+                name.into(),
+                gpus,
+                run.total_ms,
+                run.sub_rounds,
+                run.exchanged_bytes,
+            ));
         }
     }
     print_table(
@@ -79,7 +93,9 @@ fn main() {
         &rows,
     );
 
-    println!("\nEXTENSION 2 — RING-BUFFER ABLATION (§IV-C): smallest per-block buffer that completes\n");
+    println!(
+        "\nEXTENSION 2 — RING-BUFFER ABLATION (§IV-C): smallest per-block buffer that completes\n"
+    );
     let mut rows = Vec::new();
     for name in names {
         let e = prepare(kcore_graph::datasets::by_name(name).unwrap());
@@ -93,13 +109,21 @@ fn main() {
         ]);
         out.ring_ablation.push((name.into(), ring, flat));
     }
-    print_table(&["Dataset", "ring buffer", "flat buffer", "ring advantage"].map(String::from), &rows);
+    print_table(
+        &["Dataset", "ring buffer", "flat buffer", "ring advantage"].map(String::from),
+        &rows,
+    );
 
-    println!("\nEXTENSION 3 — PEELING vs DIRECT GPU-MPM vs MEDUSA-MPM (total-workload trade-off)\n");
+    println!(
+        "\nEXTENSION 3 — PEELING vs DIRECT GPU-MPM vs MEDUSA-MPM (total-workload trade-off)\n"
+    );
     let mut rows = Vec::new();
     for name in names {
         let e = prepare(kcore_graph::datasets::by_name(name).unwrap());
-        let peel_ms = decompose(&e.graph, &e.peel_cfg, &e.sim).unwrap().report.total_ms;
+        let peel_ms = decompose(&e.graph, &e.peel_cfg, &e.sim)
+            .unwrap()
+            .report
+            .total_ms;
         let gpu_mpm = mpm_gpu::decompose_mpm(&e.graph, &e.sim).unwrap();
         assert_eq!(gpu_mpm.core, e.truth);
         let costs = FrameworkCosts::default().scaled(e.scale);
@@ -112,7 +136,8 @@ fn main() {
             format!("{:.2} ({} sweeps)", gpu_mpm.report.total_ms, gpu_mpm.sweeps),
             format!("{med:.2}"),
         ]);
-        out.mpm_vs_peel.push((name.into(), peel_ms, gpu_mpm.report.total_ms, med));
+        out.mpm_vs_peel
+            .push((name.into(), peel_ms, gpu_mpm.report.total_ms, med));
     }
     print_table(
         &["Dataset", "Peel (Ours)", "GPU-MPM (direct)", "Medusa-MPM"].map(String::from),

@@ -6,8 +6,8 @@
 //! S2−S1 (newly most-active), S1−S2 (dropped out of the most-active core).
 
 use kcore_bench::save_json;
-use kcore_graph::gen::temporal::{generate_corpus, CorpusParams};
 use kcore_gpu::{decompose, PeelConfig, SimOptions};
+use kcore_graph::gen::temporal::{generate_corpus, CorpusParams};
 use serde::Serialize;
 use std::collections::BTreeSet;
 
@@ -67,7 +67,10 @@ fn main() {
     let g1 = corpus.interaction_snapshot(y1);
     let g2 = corpus.interaction_snapshot(y2);
 
-    let cfg = PeelConfig { buf_capacity: 65_536, ..PeelConfig::default() };
+    let cfg = PeelConfig {
+        buf_capacity: 65_536,
+        ..PeelConfig::default()
+    };
     let opts = SimOptions::default();
     let r1 = decompose(&g1, &cfg, &opts).expect("G1 decomposition");
     let r2 = decompose(&g2, &cfg, &opts).expect("G2 decomposition");
@@ -104,11 +107,20 @@ fn main() {
         s2.len(),
         r2.report.total_ms
     );
-    println!("── S1 ∩ S2 — most active in BOTH periods ({} authors) ──", both_names.len());
+    println!(
+        "── S1 ∩ S2 — most active in BOTH periods ({} authors) ──",
+        both_names.len()
+    );
     println!("{}\n", cloud(&both_names));
-    println!("── S2 − S1 — became most active by {y2} ({} authors) ──", entered_names.len());
+    println!(
+        "── S2 − S1 — became most active by {y2} ({} authors) ──",
+        entered_names.len()
+    );
     println!("{}\n", cloud(&entered_names));
-    println!("── S1 − S2 — fell out of the most-active core ({} authors) ──", left_names.len());
+    println!(
+        "── S1 − S2 — fell out of the most-active core ({} authors) ──",
+        left_names.len()
+    );
     println!("{}", cloud(&left_names));
 
     save_json(

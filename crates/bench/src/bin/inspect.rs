@@ -5,9 +5,15 @@
 //! ```bash
 //! cargo run --release -p kcore-bench --bin inspect [dataset-name]
 //! ```
+//!
+//! Besides the console breakdown, every implementation's full kernel trace
+//! (per-launch counters, roofline decomposition, per-phase rollups — see
+//! DESIGN.md "Profiling & traces") is dumped to
+//! `results/traces/<dataset>_<impl>.json`. Set `KCORE_TRACE_BLOCKS=1` to
+//! also record per-block counters for each launch (large output).
 
-use kcore_bench::prepare;
-use kcore_gpusim::Counters;
+use kcore_bench::{prepare, save_trace};
+use kcore_gpusim::{Counters, GpuContext};
 use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
 
 fn show(label: &str, ms: f64, iters: u64, c: &Counters, peak: u64) {
@@ -24,10 +30,25 @@ fn show(label: &str, ms: f64, iters: u64, c: &Counters, peak: u64) {
     );
 }
 
+fn dump(ctx: &GpuContext, dataset: &str, label: &str) {
+    let slug: String = label
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    save_trace(
+        &format!("{dataset}_{slug}"),
+        &ctx.trace(format!("{label} on {dataset}")),
+    );
+}
+
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "soc-LiveJournal1".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "soc-LiveJournal1".into());
     let d = kcore_graph::datasets::by_name(&name).expect("unknown dataset");
     let e = prepare(d);
+    let profile_blocks = std::env::var("KCORE_TRACE_BLOCKS").is_ok();
     println!(
         "{}: |V|={} |E|={} k_max={} scale=1/{:.0}\n",
         e.dataset.name, e.stats.num_vertices, e.stats.num_edges, e.k_max, e.scale
@@ -37,10 +58,17 @@ fn main() {
     // Ours with per-kernel breakdown.
     {
         let mut ctx = e.sim.context();
+        ctx.set_block_profiling(profile_blocks);
         let res = kcore_gpu::decompose_in(&mut ctx, &e.graph, &e.peel_cfg);
         let rep = ctx.report();
         match res {
-            Ok(_) => show("Ours", rep.total_ms, rep.launches, &rep.counters, rep.peak_mem_bytes),
+            Ok(_) => show(
+                "Ours",
+                rep.total_ms,
+                rep.launches,
+                &rep.counters,
+                rep.peak_mem_bytes,
+            ),
             Err(err) => println!("Ours: {err}"),
         }
         // aggregate per kernel name
@@ -58,18 +86,30 @@ fn main() {
                 "      loop launch: {:>9.1} us, max-block {:>10.0} cyc, mean-block {:>10.0} cyc",
                 l.time_s * 1e6,
                 l.max_block_cycles,
-                l.sum_block_cycles / l.blocks as f64
+                l.sum_block_cycles / l.blocks() as f64
             );
         }
+        dump(&ctx, e.dataset.name, "Ours");
     }
     for cfgv in e.peel_cfg.all_variants() {
         if cfgv.variant_name() == "Ours" {
             continue;
         }
-        match kcore_gpu::decompose(&e.graph, &cfgv, &e.sim) {
-            Ok(r) => show(cfgv.variant_name(), r.report.total_ms, r.report.launches, &r.report.counters, r.report.peak_mem_bytes),
+        let mut ctx = e.sim.context();
+        match kcore_gpu::decompose_in(&mut ctx, &e.graph, &cfgv) {
+            Ok(_) => {
+                let r = ctx.report();
+                show(
+                    cfgv.variant_name(),
+                    r.total_ms,
+                    r.launches,
+                    &r.counters,
+                    r.peak_mem_bytes,
+                );
+            }
             Err(err) => println!("{}: {err}", cfgv.variant_name()),
         }
+        dump(&ctx, e.dataset.name, cfgv.variant_name());
     }
     {
         let mut ctx = e.sim.context();
@@ -80,6 +120,7 @@ fn main() {
             }
             Err(err) => println!("GSwitch: {err}"),
         }
+        dump(&ctx, e.dataset.name, "GSwitch");
     }
     {
         let mut ctx = e.sim.context();
@@ -90,6 +131,7 @@ fn main() {
             }
             Err(err) => println!("Gunrock: {err}"),
         }
+        dump(&ctx, e.dataset.name, "Gunrock");
     }
     {
         let mut ctx = e.sim.context();
@@ -100,6 +142,7 @@ fn main() {
             }
             Err(err) => println!("VETGA: {err}"),
         }
+        dump(&ctx, e.dataset.name, "VETGA");
     }
     {
         let mut ctx = e.sim.context();
@@ -110,6 +153,7 @@ fn main() {
             }
             Err(err) => println!("Medusa-Peel: {err}"),
         }
+        dump(&ctx, e.dataset.name, "Medusa-Peel");
     }
     {
         let mut ctx = e.sim.context();
@@ -120,5 +164,6 @@ fn main() {
             }
             Err(err) => println!("Medusa-MPM: {err}"),
         }
+        dump(&ctx, e.dataset.name, "Medusa-MPM");
     }
 }

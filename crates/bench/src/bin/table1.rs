@@ -24,8 +24,18 @@ struct Row {
 fn main() {
     let envs = prepare_all();
     let headers: Vec<String> = [
-        "Dataset", "|V|", "|E|", "davg", "std", "dmax", "kmax", "Category", "scale", "paper|V|",
-        "paper|E|", "paper kmax",
+        "Dataset",
+        "|V|",
+        "|E|",
+        "davg",
+        "std",
+        "dmax",
+        "kmax",
+        "Category",
+        "scale",
+        "paper|V|",
+        "paper|E|",
+        "paper kmax",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -29,7 +29,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for e in &envs {
-        eprintln!("[table2] {} (|E|={}, {} runs)", e.dataset.name, e.stats.num_edges, reps);
+        eprintln!(
+            "[table2] {} (|E|={}, {} runs)",
+            e.dataset.name, e.stats.num_edges, reps
+        );
         let mut cells_txt = vec![e.dataset.name.to_string()];
         let mut times = Vec::new();
         let mut cells_json = Vec::new();
@@ -50,7 +53,13 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms()))
                 {
                     Ok((core, ms)) => {
-                        assert_eq!(core, e.truth, "{} variant {}", e.dataset.name, cfg.variant_name());
+                        assert_eq!(
+                            core,
+                            e.truth,
+                            "{} variant {}",
+                            e.dataset.name,
+                            cfg.variant_name()
+                        );
                         ok_times.push(ms);
                     }
                     Err(kcore_gpusim::SimError::TimeLimit { .. }) => {
@@ -71,9 +80,14 @@ fn main() {
         }
         mark_best(&mut cells_txt[1..], &times);
         rows.push(cells_txt);
-        json.push(Row { dataset: e.dataset.name.to_string(), cells: cells_json });
+        json.push(Row {
+            dataset: e.dataset.name.to_string(),
+            cells: cells_json,
+        });
     }
-    println!("\nTABLE II — ABLATION STUDY (simulated ms at dataset scale; avg±std over {reps} runs)\n");
+    println!(
+        "\nTABLE II — ABLATION STUDY (simulated ms at dataset scale; avg±std over {reps} runs)\n"
+    );
     print_table(&headers, &rows);
     save_json("table2", &json);
 }

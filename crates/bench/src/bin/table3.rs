@@ -2,10 +2,32 @@
 //! Medusa-Peel, Gunrock and GSwitch, with the paper's "> 1hr", "LD > 1hr"
 //! and "OOM" cells reproduced through the scaled time budget and scaled
 //! device capacity.
+//!
+//! Set `KCORE_TRACE=1` to also dump every system's kernel trace (per-launch
+//! counters + roofline, per-phase rollups) to
+//! `results/traces/table3_<dataset>_<system>.json`.
 
-use kcore_bench::{mark_best, prepare_all, print_table, save_json, Cell, PAPER_HOUR_MS};
+use kcore_bench::{
+    mark_best, prepare_all, print_table, save_json, save_trace, Cell, PAPER_HOUR_MS,
+};
+use kcore_gpusim::GpuContext;
 use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
 use serde::Serialize;
+
+fn dump(ctx: &GpuContext, dataset: &str, system: &str) {
+    if std::env::var("KCORE_TRACE").is_err() {
+        return;
+    }
+    let slug: String = system
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    save_trace(
+        &format!("table3_{dataset}_{slug}"),
+        &ctx.trace(format!("{system} on {dataset} (Table III)")),
+    );
+}
 
 #[derive(Serialize)]
 struct Row {
@@ -15,7 +37,14 @@ struct Row {
 
 fn main() {
     let envs = prepare_all();
-    let systems = ["Ours", "VETGA", "Medusa-MPM", "Medusa-Peel", "Gunrock", "GSwitch"];
+    let systems = [
+        "Ours",
+        "VETGA",
+        "Medusa-MPM",
+        "Medusa-Peel",
+        "Gunrock",
+        "GSwitch",
+    ];
     let mut headers = vec!["Dataset".to_string()];
     headers.extend(systems.iter().map(|s| s.to_string()));
 
@@ -29,11 +58,15 @@ fn main() {
         let mut cells = Vec::new();
 
         // Ours
-        cells.push(Cell::from_result(
-            kcore_gpu::decompose(&e.graph, &e.peel_cfg, &e.sim)
-                .map(|r| (r.core, r.report.total_ms)),
-            &e.truth,
-        ));
+        {
+            let mut ctx = e.sim.context();
+            cells.push(Cell::from_result(
+                kcore_gpu::decompose_in(&mut ctx, &e.graph, &e.peel_cfg)
+                    .map(|(core, _)| (core, ctx.elapsed_ms())),
+                &e.truth,
+            ));
+            dump(&ctx, e.dataset.name, "Ours");
+        }
         // VETGA: loading is checked against the (scaled) hour first.
         let load_ms = vetga::load_time_ms(&e.graph, &costs);
         if load_ms > PAPER_HOUR_MS / e.scale {
@@ -45,6 +78,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
+            dump(&ctx, e.dataset.name, "VETGA");
         }
         // Medusa-MPM
         {
@@ -54,6 +88,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
+            dump(&ctx, e.dataset.name, "Medusa-MPM");
         }
         // Medusa-Peel
         {
@@ -63,6 +98,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
+            dump(&ctx, e.dataset.name, "Medusa-Peel");
         }
         // Gunrock
         {
@@ -72,6 +108,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
+            dump(&ctx, e.dataset.name, "Gunrock");
         }
         // GSwitch (round count hardcoded from the known k_max, as in §V)
         {
@@ -81,6 +118,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
+            dump(&ctx, e.dataset.name, "GSwitch");
         }
 
         let times: Vec<Option<f64>> = cells.iter().map(Cell::avg_ms).collect();

@@ -7,7 +7,7 @@
 //! EXPERIMENTS.md discusses how to read the comparison.
 
 use kcore_bench::{mark_best, prepare_all, print_table, save_json, Cell};
-use kcore_cpu::{mpm, naive, park, pkc, bz, CoreAlgorithm};
+use kcore_cpu::{bz, mpm, naive, park, pkc, CoreAlgorithm};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -22,7 +22,10 @@ fn measure(alg: &dyn CoreAlgorithm, g: &kcore_graph::Csr, truth: &[u32]) -> Cell
     let core = alg.run(g);
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     if core == truth {
-        Cell::Time { avg_ms: ms, std_ms: 0.0 }
+        Cell::Time {
+            avg_ms: ms,
+            std_ms: 0.0,
+        }
     } else {
         Cell::Wrong
     }
@@ -65,7 +68,10 @@ fn main() {
         rows.push(txt);
         let mut names = vec!["Ours".to_string()];
         names.extend(algs.iter().map(|a| a.name().to_string()));
-        json.push(Row { dataset: e.dataset.name.to_string(), cells: names.into_iter().zip(cells).collect() });
+        json.push(Row {
+            dataset: e.dataset.name.to_string(),
+            cells: names.into_iter().zip(cells).collect(),
+        });
     }
     println!("\nTABLE IV — COMPUTATION TIME OF CPU PROGRAMS (ms; Ours = simulated GPU, others = host wall-clock)\n");
     print_table(&headers, &rows);

@@ -46,7 +46,16 @@ fn main() {
         e.sim.time_limit_ms = Some(cap.min(60.0));
     }
     let columns = [
-        "Ours", "SM", "VP", "EC", "BC", "VETGA", "Medusa-MPM", "Medusa-Peel", "Gunrock", "GSwitch",
+        "Ours",
+        "SM",
+        "VP",
+        "EC",
+        "BC",
+        "VETGA",
+        "Medusa-MPM",
+        "Medusa-Peel",
+        "Gunrock",
+        "GSwitch",
     ];
     let mut headers = vec!["Dataset".to_string()];
     headers.extend(columns.iter().map(|s| s.to_string()));
@@ -68,7 +77,11 @@ fn main() {
             (Compaction::Efficient, Buffering::Global),
             (Compaction::Ballot, Buffering::Global),
         ] {
-            let cfg = PeelConfig { compaction: c, buffering: b, ..e.peel_cfg };
+            let cfg = PeelConfig {
+                compaction: c,
+                buffering: b,
+                ..e.peel_cfg
+            };
             let mut ctx = e.sim.context();
             let res = kcore_gpu::decompose_in(&mut ctx, &e.graph, &cfg).map(|_| ());
             peaks.push(peak_of(&mut ctx, res));

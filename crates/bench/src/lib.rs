@@ -21,9 +21,9 @@
 
 use kcore_cpu::CoreAlgorithm;
 use kcore_gpu::PeelConfig;
+use kcore_gpusim::{SimError, SimOptions};
 use kcore_graph::datasets::{self, Dataset};
 use kcore_graph::{Csr, GraphStats};
-use kcore_gpusim::{SimError, SimOptions};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -82,14 +82,26 @@ pub fn prepare(dataset: Dataset) -> Env {
     let dim = (((1024.0 / vertex_scale) as u32) / 32 * 32).clamp(32, 1024);
     sim.cost.barrier_cycles = (dim / 32) as f64;
     let peel_cfg = PeelConfig {
-        launch: kcore_gpusim::LaunchConfig { blocks: 108, threads_per_block: dim },
+        launch: kcore_gpusim::LaunchConfig {
+            blocks: 108,
+            threads_per_block: dim,
+        },
         buf_capacity: ((1_000_000.0 / scale) as usize).max(4_096),
         shared_buf_capacity: ((10_000.0 / scale) as usize).max(64),
         ..PeelConfig::default()
     };
     let truth = kcore_cpu::bz::Bz.run(&graph);
     let k_max = kcore_cpu::k_max(&truth);
-    Env { dataset, graph, stats, scale, sim, peel_cfg, truth, k_max }
+    Env {
+        dataset,
+        graph,
+        stats,
+        scale,
+        sim,
+        peel_cfg,
+        truth,
+        k_max,
+    }
 }
 
 /// Prepares all selected datasets (honoring `KCORE_SMOKE` / `KCORE_DATASETS`).
@@ -99,12 +111,16 @@ pub fn prepare_all() -> Vec<Env> {
     } else {
         datasets::registry()
     };
-    let filter: Option<Vec<String>> = std::env::var("KCORE_DATASETS")
-        .ok()
-        .map(|s| s.split(',').map(|x| x.trim().to_ascii_lowercase()).collect());
+    let filter: Option<Vec<String>> = std::env::var("KCORE_DATASETS").ok().map(|s| {
+        s.split(',')
+            .map(|x| x.trim().to_ascii_lowercase())
+            .collect()
+    });
     base.into_iter()
         .filter(|d| {
-            filter.as_ref().is_none_or(|f| f.iter().any(|x| x == &d.name.to_ascii_lowercase()))
+            filter
+                .as_ref()
+                .is_none_or(|f| f.iter().any(|x| x == &d.name.to_ascii_lowercase()))
         })
         .map(prepare)
         .collect()
@@ -112,7 +128,11 @@ pub fn prepare_all() -> Vec<Env> {
 
 /// Repetition count for avg ± std experiments.
 pub fn runs() -> usize {
-    std::env::var("KCORE_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1)
+    std::env::var("KCORE_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1)
 }
 
 /// One table cell: a time, or one of the paper's special outcomes.
@@ -142,7 +162,10 @@ impl Cell {
         let n = times.len() as f64;
         let avg = times.iter().sum::<f64>() / n;
         let var = times.iter().map(|t| (t - avg) * (t - avg)).sum::<f64>() / n;
-        Cell::Time { avg_ms: avg, std_ms: var.sqrt() }
+        Cell::Time {
+            avg_ms: avg,
+            std_ms: var.sqrt(),
+        }
     }
 
     /// Builds a cell from one run outcome, checking correctness.
@@ -150,7 +173,10 @@ impl Cell {
         match res {
             Ok((core, ms)) => {
                 if core == truth {
-                    Cell::Time { avg_ms: ms, std_ms: 0.0 }
+                    Cell::Time {
+                        avg_ms: ms,
+                        std_ms: 0.0,
+                    }
                 } else {
                     Cell::Wrong
                 }
@@ -202,21 +228,24 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
     }
     let line = |cells: &[String]| {
         let mut s = String::new();
-        for i in 0..cols {
+        for (i, &w) in widths.iter().enumerate() {
             if i > 0 {
                 s.push_str("  ");
             }
             let cell = cells.get(i).map(String::as_str).unwrap_or("");
             if i == 0 {
-                s.push_str(&format!("{cell:<w$}", w = widths[i]));
+                s.push_str(&format!("{cell:<w$}"));
             } else {
-                s.push_str(&format!("{cell:>w$}", w = widths[i]));
+                s.push_str(&format!("{cell:>w$}"));
             }
         }
         s
     };
     println!("{}", line(headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -236,12 +265,21 @@ pub fn mark_best(cells: &mut [String], times: &[Option<f64>]) {
 
 /// Where result JSON files go (`results/` at the workspace root).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("KCORE_RESULTS_DIR").unwrap_or_else(|_| {
-        format!("{}/../../results", env!("CARGO_MANIFEST_DIR"))
-    });
+    let dir = std::env::var("KCORE_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
     let p = PathBuf::from(dir);
     std::fs::create_dir_all(&p).expect("create results dir");
     p
+}
+
+/// Writes a captured kernel [`Trace`](kcore_gpusim::Trace) as pretty-printed
+/// JSON into `results/traces/<name>.json`.
+pub fn save_trace(name: &str, trace: &kcore_gpusim::Trace) {
+    let dir = results_dir().join("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, trace.to_json()).expect("write trace");
+    eprintln!("[saved {}]", path.display());
 }
 
 /// Serializes rows as JSON into `results/<name>.json`.
@@ -274,8 +312,22 @@ mod tests {
         assert_eq!(Cell::OverHour.render(false), "> 1hr");
         assert_eq!(Cell::Oom.render(false), "OOM");
         assert_eq!(Cell::LoadOverHour.render(false), "LD > 1hr");
-        assert_eq!(Cell::Time { avg_ms: 123.4, std_ms: 0.0 }.render(false), "123");
-        assert_eq!(Cell::Time { avg_ms: 1.25, std_ms: 0.5 }.render(true), "1.25±0.50");
+        assert_eq!(
+            Cell::Time {
+                avg_ms: 123.4,
+                std_ms: 0.0
+            }
+            .render(false),
+            "123"
+        );
+        assert_eq!(
+            Cell::Time {
+                avg_ms: 1.25,
+                std_ms: 0.5
+            }
+            .render(true),
+            "1.25±0.50"
+        );
     }
 
     #[test]

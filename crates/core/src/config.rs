@@ -79,22 +79,34 @@ impl PeelConfig {
 
     /// Shared-memory buffering variant.
     pub fn sm() -> Self {
-        PeelConfig { buffering: Buffering::SharedMem, ..Self::default() }
+        PeelConfig {
+            buffering: Buffering::SharedMem,
+            ..Self::default()
+        }
     }
 
     /// Vertex-prefetching variant.
     pub fn vp() -> Self {
-        PeelConfig { buffering: Buffering::Prefetch, ..Self::default() }
+        PeelConfig {
+            buffering: Buffering::Prefetch,
+            ..Self::default()
+        }
     }
 
     /// Ballot-compaction variant.
     pub fn bc() -> Self {
-        PeelConfig { compaction: Compaction::Ballot, ..Self::default() }
+        PeelConfig {
+            compaction: Compaction::Ballot,
+            ..Self::default()
+        }
     }
 
     /// Efficient (block-level) compaction variant.
     pub fn ec() -> Self {
-        PeelConfig { compaction: Compaction::Efficient, ..Self::default() }
+        PeelConfig {
+            compaction: Compaction::Efficient,
+            ..Self::default()
+        }
     }
 
     /// Applies a buffering strategy on top of `self` (builder style).
@@ -142,7 +154,11 @@ impl PeelConfig {
         let mut out = Vec::with_capacity(9);
         for c in [Compaction::None, Compaction::Ballot, Compaction::Efficient] {
             for b in [Buffering::Global, Buffering::SharedMem, Buffering::Prefetch] {
-                out.push(PeelConfig { compaction: c, buffering: b, ..*self });
+                out.push(PeelConfig {
+                    compaction: c,
+                    buffering: b,
+                    ..*self
+                });
             }
         }
         out
@@ -170,13 +186,30 @@ mod tests {
         assert_eq!(PeelConfig::vp().variant_name(), "VP");
         assert_eq!(PeelConfig::bc().variant_name(), "BC");
         assert_eq!(PeelConfig::ec().variant_name(), "EC");
-        assert_eq!(PeelConfig::bc().with_buffering(Buffering::SharedMem).variant_name(), "BC+SM");
-        assert_eq!(PeelConfig::ec().with_buffering(Buffering::Prefetch).variant_name(), "EC+VP");
+        assert_eq!(
+            PeelConfig::bc()
+                .with_buffering(Buffering::SharedMem)
+                .variant_name(),
+            "BC+SM"
+        );
+        assert_eq!(
+            PeelConfig::ec()
+                .with_buffering(Buffering::Prefetch)
+                .variant_name(),
+            "EC+VP"
+        );
     }
 
     #[test]
     fn all_variants_covers_table2() {
-        let names: Vec<_> = PeelConfig::default().all_variants().iter().map(|v| v.variant_name()).collect();
-        assert_eq!(names, vec!["Ours", "SM", "VP", "BC", "BC+SM", "BC+VP", "EC", "EC+SM", "EC+VP"]);
+        let names: Vec<_> = PeelConfig::default()
+            .all_variants()
+            .iter()
+            .map(|v| v.variant_name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["Ours", "SM", "VP", "BC", "BC+SM", "BC+VP", "EC", "EC+SM", "EC+VP"]
+        );
     }
 }

@@ -38,12 +38,17 @@
 //! println!("simulated time: {:.3} ms", run.report.total_ms);
 //! ```
 
+// Kernel-style code indexes several parallel device arrays with one
+// explicit loop variable, mirroring the CUDA idiom it simulates; iterator
+// rewrites would obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 pub mod config;
 pub mod mpm_gpu;
 pub mod multi_gpu;
 pub mod peel;
 
 pub use config::{Buffering, Compaction, PeelConfig};
-pub use multi_gpu::{decompose_multi, MultiGpuConfig, MultiGpuRun};
 pub use kcore_gpusim::SimOptions;
+pub use multi_gpu::{decompose_multi, MultiGpuConfig, MultiGpuRun};
 pub use peel::{decompose, decompose_in, GpuRun};

@@ -11,8 +11,8 @@
 //! materialization, no reverse index, no per-superstep host round trips
 //! beyond the convergence flag.
 
-use kcore_graph::Csr;
 use kcore_gpusim::{BlockCtx, GpuContext, SimError, SimOptions, SimReport};
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// Result of a direct GPU-MPM run.
@@ -30,7 +30,11 @@ pub struct GpuMpmRun {
 pub fn decompose_mpm(g: &Csr, opts: &SimOptions) -> Result<GpuMpmRun, SimError> {
     let mut ctx = opts.context();
     let (core, sweeps) = decompose_mpm_in(&mut ctx, g)?;
-    Ok(GpuMpmRun { core, sweeps, report: ctx.report() })
+    Ok(GpuMpmRun {
+        core,
+        sweeps,
+        report: ctx.report(),
+    })
 }
 
 /// [`decompose_mpm`] against a caller-owned context.
@@ -39,6 +43,7 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
+    ctx.set_phase("Setup");
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
     let d_offsets = ctx.htod("gpumpm.offset", &offsets32)?;
     let d_neighbors = ctx.htod("gpumpm.neighbors", g.neighbor_array())?;
@@ -53,6 +58,7 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
         sweeps += 1;
         ctx.device.fill(d_flag, 0);
         let (cur, next) = (bufs[0], bufs[1]);
+        ctx.set_phase("Sweep");
         ctx.launch("gpumpm_sweep", launch, |blk| {
             let d = blk.device;
             let offsets = d.buffer(d_offsets);
@@ -75,8 +81,8 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
                 blk.charge_sector(1); // offsets pair
                 blk.charge_tx(BlockCtx::coalesced_tx(deg)); // neighbor IDs
                 blk.charge_sector(deg); // scattered a[u] gathers
-                // warp-level bounded h-index: bucket counts in shared memory,
-                // one pass + top-down scan
+                                        // warp-level bounded h-index: bucket counts in shared memory,
+                                        // one pass + top-down scan
                 blk.counters.shared_accesses += deg + cur_a.min(deg as u32) as u64;
                 blk.charge_instr(deg.div_ceil(32).max(1) * 3);
                 let h = h_index_bounded(
@@ -94,6 +100,7 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
             }
             Ok(())
         })?;
+        ctx.set_phase("Sync");
         let changed = ctx.dtoh_word(d_flag, 0);
         bufs.swap(0, 1);
         if changed == 0 {
@@ -105,6 +112,7 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
             )));
         }
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(bufs[0]);
     Ok((core, sweeps))
 }

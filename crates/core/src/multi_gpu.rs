@@ -27,8 +27,8 @@
 
 use crate::config::PeelConfig;
 use crate::peel;
-use kcore_graph::{Csr, GraphBuilder};
 use kcore_gpusim::{GpuContext, SimError, SimOptions};
+use kcore_graph::{Csr, GraphBuilder};
 
 /// Configuration of a multi-GPU run.
 #[derive(Debug, Clone, Copy)]
@@ -91,7 +91,11 @@ struct WorkerState {
 
 /// Runs the distributed decomposition. `opts.device_capacity_bytes` is the
 /// capacity of *each* worker device.
-pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Result<MultiGpuRun, SimError> {
+pub fn decompose_multi(
+    g: &Csr,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+) -> Result<MultiGpuRun, SimError> {
     assert!(cfg.num_gpus >= 1);
     let n = g.num_vertices() as usize;
     if n == 0 {
@@ -120,7 +124,13 @@ pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Resu
             }
         }
         let local = b.build();
-        workers.push(WorkerState { ctx: opts.context(), lo, hi, local, seeds: Vec::new() });
+        workers.push(WorkerState {
+            ctx: opts.context(),
+            lo,
+            hi,
+            local,
+            seeds: Vec::new(),
+        });
     }
 
     // Degrees: authoritative per owner; ghost degrees replicated read-only.
@@ -153,6 +163,7 @@ pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Resu
         for w in workers.iter_mut() {
             let before = w.ctx.elapsed_ms();
             let range = (w.hi - w.lo) as u64;
+            w.ctx.set_phase("Scan");
             w.ctx.launch("mgpu_scan", cfg.peel.launch, |blk| {
                 let share = range / blk.cfg.blocks as u64 + 1;
                 blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(share));
@@ -206,11 +217,14 @@ pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Resu
                 remaining -= queue.len();
                 // Charge the worker's loop kernel: frontier reads + arc walk.
                 let q = queue.len() as u64;
+                w.ctx.set_phase("Loop");
                 w.ctx.launch("mgpu_loop", cfg.peel.launch, |blk| {
                     let blocks = blk.cfg.blocks as u64;
                     blk.charge_sector(q / blocks + 1); // frontier fetches
                     blk.counters.dependent_reads += q / blocks + 1;
-                    blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(arcs_walked / blocks + 1));
+                    blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(
+                        arcs_walked / blocks + 1,
+                    ));
                     blk.charge_sector(arcs_walked / blocks + 1); // deg probes
                     blk.counters.global_atomics += arcs_walked / blocks + 1;
                     Ok(())
@@ -233,8 +247,7 @@ pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Resu
                 // master → owner (two hops, as the paper sketches).
                 let bytes = updates.len() as u64 * 8 * 2;
                 exchanged_bytes += bytes;
-                total_ms +=
-                    (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
+                total_ms += (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
                 for &(v, cnt) in &updates {
                     if removed[v as usize] {
                         continue;
@@ -279,7 +292,15 @@ pub fn decompose_multi(g: &Csr, cfg: &MultiGpuConfig, opts: &SimOptions) -> Resu
                 + (w.local.num_arcs() + n as u64 + cfg.peel.buf_capacity as u64) * 4
         })
         .sum();
-    Ok(MultiGpuRun { core, k_max, rounds, sub_rounds, total_ms, total_peak_mem_bytes, exchanged_bytes })
+    Ok(MultiGpuRun {
+        core,
+        k_max,
+        rounds,
+        sub_rounds,
+        total_ms,
+        total_peak_mem_bytes,
+        exchanged_bytes,
+    })
 }
 
 /// Convenience: single-device reference via [`peel::decompose`] for
@@ -292,14 +313,17 @@ pub fn single_gpu_ms(g: &Csr, cfg: &PeelConfig, opts: &SimOptions) -> Result<f64
 mod tests {
     use super::*;
     use kcore_cpu::CoreAlgorithm;
-    use kcore_graph::gen;
     use kcore_gpusim::LaunchConfig;
+    use kcore_graph::gen;
 
     fn cfg(p: usize) -> MultiGpuConfig {
         MultiGpuConfig {
             num_gpus: p,
             peel: PeelConfig {
-                launch: LaunchConfig { blocks: 8, threads_per_block: 128 },
+                launch: LaunchConfig {
+                    blocks: 8,
+                    threads_per_block: 128,
+                },
                 buf_capacity: 8_192,
                 ..PeelConfig::default()
             },
@@ -344,7 +368,12 @@ mod tests {
         let g = gen::path(400);
         let run = decompose_multi(&g, &cfg(4), &SimOptions::default()).unwrap();
         assert_eq!(run.core, vec![1; 400]);
-        assert!(run.sub_rounds > run.rounds, "{} !> {}", run.sub_rounds, run.rounds);
+        assert!(
+            run.sub_rounds > run.rounds,
+            "{} !> {}",
+            run.sub_rounds,
+            run.rounds
+        );
         assert!(run.exchanged_bytes > 0);
     }
 

@@ -14,11 +14,11 @@
 //! * termination via the device counter `gpu_count` read back each round.
 
 use crate::config::{Buffering, Compaction, PeelConfig};
-use kcore_graph::Csr;
 use kcore_gpusim::scan::{ballot_scan, block_two_stage_scan};
 use kcore_gpusim::{
     BlockCtx, BufferId, GpuContext, KernelError, SharedArray, SimError, SimOptions, SimReport,
 };
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// Result of a GPU decomposition run.
@@ -53,20 +53,33 @@ pub fn decompose(g: &Csr, cfg: &PeelConfig, opts: &SimOptions) -> Result<GpuRun,
     let mut ctx = opts.context();
     decompose_in(&mut ctx, g, cfg).map(|(core, rounds)| {
         let k_max = core.iter().copied().max().unwrap_or(0);
-        GpuRun { core, k_max, rounds, report: ctx.report() }
+        GpuRun {
+            core,
+            k_max,
+            rounds,
+            report: ctx.report(),
+        }
     })
 }
 
 /// Runs the decomposition inside an existing context (the bench harness uses
 /// this to share device setup across repetitions). Returns `(core, rounds)`.
-pub fn decompose_in(ctx: &mut GpuContext, g: &Csr, cfg: &PeelConfig) -> Result<(Vec<u32>, u32), SimError> {
+pub fn decompose_in(
+    ctx: &mut GpuContext,
+    g: &Csr,
+    cfg: &PeelConfig,
+) -> Result<(Vec<u32>, u32), SimError> {
     let n = g.num_vertices() as usize;
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
-    assert!(g.num_arcs() < u32::MAX as u64, "graph exceeds 32-bit arc indexing");
+    assert!(
+        g.num_arcs() < u32::MAX as u64,
+        "graph exceeds 32-bit arc indexing"
+    );
 
     // Algorithm 1, line 1: load G (offset / neighbors / deg) to the device.
+    ctx.set_phase("Setup");
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
     let d_offsets = ctx.htod("offset", &offsets32)?;
     let d_neighbors = ctx.htod("neighbors", g.neighbor_array())?;
@@ -77,23 +90,37 @@ pub fn decompose_in(ctx: &mut GpuContext, g: &Csr, cfg: &PeelConfig) -> Result<(
     let d_buf_e = ctx.alloc("buf_e", blocks)?;
     let d_count = ctx.alloc("gpu_count", 1)?;
 
-    let p = KParams { n, cap: cfg.buf_capacity, d_offsets, d_neighbors, d_deg, d_buf, d_buf_e, d_count, cfg };
+    let p = KParams {
+        n,
+        cap: cfg.buf_capacity,
+        d_offsets,
+        d_neighbors,
+        d_deg,
+        d_buf,
+        d_buf_e,
+        d_count,
+        cfg,
+    };
 
     let mut count = 0u64;
     let mut k = 0u32;
     let mut rounds = 0u32;
     while (count as usize) < n {
+        ctx.set_phase("Scan");
         ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?;
         // The loop kernel's blocks interact through `deg[]` while running
         // (cascading k-shell discovery), so it uses the lockstep stepped
         // launch: every wave advances each live block by one
         // barrier-delimited iteration, matching concurrent hardware blocks.
+        ctx.set_phase("Loop");
         ctx.launch_stepped(
             "loop",
             cfg.launch,
             |blk| loop_init(blk, &p),
             |blk, st| loop_step(blk, st, k, &p),
         )?;
+        // Algorithm 1 line 8: the synchronizing gpu_count readback.
+        ctx.set_phase("Sync");
         count = ctx.dtoh_word(d_count, 0) as u64;
         k += 1;
         rounds += 1;
@@ -104,6 +131,7 @@ pub fn decompose_in(ctx: &mut GpuContext, g: &Csr, cfg: &PeelConfig) -> Result<(
         }
     }
     // Line 10: deg[] has converged to the core numbers.
+    ctx.set_phase("Result");
     let core = ctx.dtoh(d_deg);
     // Free everything except the result we already copied (device hygiene;
     // peak accounting is unaffected).
@@ -135,12 +163,12 @@ fn translate(pos: u64, e_init: u64, n_b: u64, cap: u64, ring: bool) -> Result<Sl
         } else if gpos < cap {
             Ok(Slot::Global(gpos as usize))
         } else {
-            Err(KernelError::BufferOverflow { what: format!("position {gpos} beyond capacity {cap} (no ring buffer)") })
+            Err(KernelError::BufferOverflow {
+                what: format!("position {gpos} beyond capacity {cap} (no ring buffer)"),
+            })
         }
     };
-    if n_b == 0 {
-        global_at(pos)
-    } else if pos < e_init {
+    if n_b == 0 || pos < e_init {
         global_at(pos)
     } else if pos < e_init + n_b {
         Ok(Slot::Shared((pos - e_init) as usize))
@@ -151,7 +179,7 @@ fn translate(pos: u64, e_init: u64, n_b: u64, cap: u64, ring: bool) -> Result<Sl
 
 /// Per-block loop state shared by the helpers below.
 struct BufCtx {
-    se: SharedArray,      // [s, e] in shared memory
+    se: SharedArray, // [s, e] in shared memory
     sm_buf: Option<SharedArray>,
     e_init: u64,
     cap: u64,
@@ -176,7 +204,9 @@ impl BufCtx {
             blk.charge_instr(2); // Fig. 7 position-translation case check
         }
         match translate(pos, self.e_init, self.n_b(), self.cap, self.ring)? {
-            Slot::Shared(i) => Ok(blk.sh_read(self.sm_buf.expect("shared slot without SM buffer"), i)),
+            Slot::Shared(i) => {
+                Ok(blk.sh_read(self.sm_buf.expect("shared slot without SM buffer"), i))
+            }
             Slot::Global(i) => {
                 if prefetched {
                     // value was staged into pref[] by warp 0; reading shared
@@ -211,7 +241,12 @@ impl BufCtx {
         let outstanding = base + m as u64 - s_now;
         if outstanding > self.cap + self.n_b() {
             return Err(KernelError::BufferOverflow {
-                what: format!("block {}: {} outstanding frontier entries exceed capacity {}", blk.block_idx, outstanding, self.cap + self.n_b()),
+                what: format!(
+                    "block {}: {} outstanding frontier entries exceed capacity {}",
+                    blk.block_idx,
+                    outstanding,
+                    self.cap + self.n_b()
+                ),
             });
         }
         let mut global_words = 0u64;
@@ -219,7 +254,13 @@ impl BufCtx {
             if self.sm_buf.is_some() {
                 blk.charge_instr(2); // translation case check per write
             }
-            match translate(base + j as u64, self.e_init, self.n_b(), self.cap, self.ring)? {
+            match translate(
+                base + j as u64,
+                self.e_init,
+                self.n_b(),
+                self.cap,
+                self.ring,
+            )? {
                 Slot::Shared(i) => blk.sh_write(self.sm_buf.unwrap(), i, v),
                 Slot::Global(i) => {
                     bufb[i].store(v, Ordering::Relaxed);
@@ -299,8 +340,9 @@ fn scan_kernel(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), Ke
                 for wstart in (lo..hi).step_by(32) {
                     let wend = (wstart + 32).min(hi);
                     blk.counters.shared_accesses += 3 * (wend - wstart) as u64;
-                    let flags: Vec<bool> =
-                        (wstart..wend).map(|v| deg[v].load(Ordering::Relaxed) == k).collect();
+                    let flags: Vec<bool> = (wstart..wend)
+                        .map(|v| deg[v].load(Ordering::Relaxed) == k)
+                        .collect();
                     let (offsets, total) = ballot_scan(blk, &flags);
                     if total == 0 {
                         continue;
@@ -314,7 +356,8 @@ fn scan_kernel(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), Ke
                     blk.charge_tx(BlockCtx::coalesced_tx(total as u64));
                     for (i, v) in (wstart..wend).enumerate() {
                         if flags[i] {
-                            bufb[(base + offsets[i] as u64) as usize].store(v as u32, Ordering::Relaxed);
+                            bufb[(base + offsets[i] as u64) as usize]
+                                .store(v as u32, Ordering::Relaxed);
                         }
                     }
                 }
@@ -390,13 +433,22 @@ fn loop_init<'a>(blk: &mut BlockCtx<'a>, p: &KParams<'_>) -> Result<LoopState, K
         Buffering::Prefetch => Some(blk.shared_alloc(31)?),
         _ => None,
     };
-    let bc = BufCtx { se, sm_buf, e_init: e0 as u64, cap: p.cap as u64, ring: p.cfg.ring_buffer };
+    let bc = BufCtx {
+        se,
+        sm_buf,
+        e_init: e0 as u64,
+        cap: p.cap as u64,
+        ring: p.cfg.ring_buffer,
+    };
 
     let warps = blk.num_warps() as u64;
     // VP sacrifices warp 0 to prefetching — unless the block only has one
     // warp, which must keep computing.
-    let compute_warps =
-        if p.cfg.buffering == Buffering::Prefetch { (warps - 1).max(1) } else { warps };
+    let compute_warps = if p.cfg.buffering == Buffering::Prefetch {
+        (warps - 1).max(1)
+    } else {
+        warps
+    };
     Ok(LoopState {
         bc,
         prefetch: p.cfg.buffering == Buffering::Prefetch,
@@ -409,7 +461,12 @@ fn loop_init<'a>(blk: &mut BlockCtx<'a>, p: &KParams<'_>) -> Result<LoopState, K
 /// One barrier-delimited iteration of Algorithm 3's outer loop (lines 3–25),
 /// plus the line-26 `gpu_count` update when the buffer drains. Returns
 /// `false` when the block retires.
-fn loop_step(blk: &mut BlockCtx<'_>, st: &mut LoopState, k: u32, p: &KParams<'_>) -> Result<bool, KernelError> {
+fn loop_step(
+    blk: &mut BlockCtx<'_>,
+    st: &mut LoopState,
+    k: u32,
+    p: &KParams<'_>,
+) -> Result<bool, KernelError> {
     let dev = blk.device;
     let deg = dev.buffer(p.d_deg);
     let offsets = dev.buffer(p.d_offsets);
@@ -452,7 +509,17 @@ fn loop_step(blk: &mut BlockCtx<'_>, st: &mut LoopState, k: u32, p: &KParams<'_>
         let pos = s + w;
         // Line 12: v ← buf[i][s'] (translated; prefetched under VP).
         let v = st.bc.read(blk, bufb, pos, st.prefetch)?;
-        process_vertex(blk, &st.bc, bufb, deg, offsets, neighbors, v, k, st.warp_compact)?;
+        process_vertex(
+            blk,
+            &st.bc,
+            bufb,
+            deg,
+            offsets,
+            neighbors,
+            v,
+            k,
+            st.warp_compact,
+        )?;
     }
     Ok(true)
 }
@@ -482,7 +549,7 @@ fn process_vertex(
         let cend = (chunk + 32).min(pe);
         let cnt = (cend - chunk) as u64;
         blk.sync_warp(); // line 15
-        // Line 19: coalesced read of up to 32 neighbor IDs.
+                         // Line 19: coalesced read of up to 32 neighbor IDs.
         blk.charge_tx(BlockCtx::coalesced_tx(cnt));
         blk.charge_instr(2); // lines 16-18 bounds/index math (full warp)
 
@@ -541,13 +608,16 @@ fn process_vertex(
 mod tests {
     use super::*;
     use kcore_cpu::{bz, CoreAlgorithm};
-    use kcore_graph::{fig1_core_numbers, fig1_graph, gen};
     use kcore_gpusim::LaunchConfig;
+    use kcore_graph::{fig1_core_numbers, fig1_graph, gen};
 
     fn small_cfg() -> PeelConfig {
         // small geometry so tests exercise multi-iteration paths
         PeelConfig {
-            launch: LaunchConfig { blocks: 4, threads_per_block: 128 },
+            launch: LaunchConfig {
+                blocks: 4,
+                threads_per_block: 128,
+            },
             buf_capacity: 4_096,
             shared_buf_capacity: 64,
             ..PeelConfig::default()
@@ -600,7 +670,10 @@ mod tests {
     fn skewed_and_planted_graphs() {
         let cfg = small_cfg();
         check(&gen::power_law_hubs(3_000, 6_000, 3, 0.2, 7), &cfg);
-        check(&gen::plant_clique(&gen::erdos_renyi_gnm(1_000, 2_000, 3), 25, 4), &cfg);
+        check(
+            &gen::plant_clique(&gen::erdos_renyi_gnm(1_000, 2_000, 3), 25, 4),
+            &cfg,
+        );
     }
 
     #[test]
@@ -636,7 +709,10 @@ mod tests {
     fn single_block_single_warp_geometry() {
         let g = gen::erdos_renyi_gnm(300, 900, 5);
         let cfg = PeelConfig {
-            launch: LaunchConfig { blocks: 1, threads_per_block: 32 },
+            launch: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
             buf_capacity: 512,
             ..PeelConfig::default()
         };
@@ -650,13 +726,19 @@ mod tests {
         // tiny buffer, no ring: the dense graph's round-0..k shells overflow
         let g = gen::complete(64); // one 63-shell of 64 vertices
         let cfg = PeelConfig {
-            launch: LaunchConfig { blocks: 1, threads_per_block: 32 },
+            launch: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
             buf_capacity: 16,
             ring_buffer: false,
             ..PeelConfig::default()
         };
         let err = decompose(&g, &cfg, &SimOptions::default()).unwrap_err();
-        assert!(matches!(err, SimError::Kernel(KernelError::BufferOverflow { .. })), "{err}");
+        assert!(
+            matches!(err, SimError::Kernel(KernelError::BufferOverflow { .. })),
+            "{err}"
+        );
     }
 
     #[test]
@@ -666,25 +748,42 @@ mod tests {
         // small) while the non-ring variant overflows.
         let g = gen::path(3_000);
         let base = PeelConfig {
-            launch: LaunchConfig { blocks: 1, threads_per_block: 32 },
+            launch: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
             buf_capacity: 3_200, // > initial scan (2 endpoints) but < 2*n appends... n appends total
             ..PeelConfig::default()
         };
         // with ring: works
-        let ring = PeelConfig { ring_buffer: true, buf_capacity: 64, ..base };
+        let ring = PeelConfig {
+            ring_buffer: true,
+            buf_capacity: 64,
+            ..base
+        };
         let run = decompose(&g, &ring, &SimOptions::default()).unwrap();
         assert_eq!(run.core, vec![1; 3_000]);
         // without ring: the same tiny buffer overflows
-        let no_ring = PeelConfig { ring_buffer: false, buf_capacity: 64, ..base };
+        let no_ring = PeelConfig {
+            ring_buffer: false,
+            buf_capacity: 64,
+            ..base
+        };
         let err = decompose(&g, &no_ring, &SimOptions::default()).unwrap_err();
-        assert!(matches!(err, SimError::Kernel(KernelError::BufferOverflow { .. })));
+        assert!(matches!(
+            err,
+            SimError::Kernel(KernelError::BufferOverflow { .. })
+        ));
     }
 
     #[test]
     fn device_oom_on_tiny_device() {
         let g = gen::erdos_renyi_gnm(1_000, 5_000, 1);
         let cfg = small_cfg();
-        let opts = SimOptions { device_capacity_bytes: 1024, ..SimOptions::default() };
+        let opts = SimOptions {
+            device_capacity_bytes: 1024,
+            ..SimOptions::default()
+        };
         let err = decompose(&g, &cfg, &opts).unwrap_err();
         assert!(matches!(err, SimError::Oom(_)));
     }
@@ -693,7 +792,10 @@ mod tests {
     fn time_limit_reports_timeout() {
         let g = gen::erdos_renyi_gnm(2_000, 10_000, 2);
         let cfg = small_cfg();
-        let opts = SimOptions { time_limit_ms: Some(1e-7), ..SimOptions::default() };
+        let opts = SimOptions {
+            time_limit_ms: Some(1e-7),
+            ..SimOptions::default()
+        };
         let err = decompose(&g, &cfg, &opts).unwrap_err();
         assert!(matches!(err, SimError::TimeLimit { .. }));
     }

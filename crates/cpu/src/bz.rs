@@ -152,7 +152,11 @@ mod tests {
     fn matches_quadratic_reference_on_random_graphs() {
         for seed in 0..5 {
             let g = gen::erdos_renyi_gnm(300, 900, seed);
-            assert_eq!(core_numbers(&g), crate::verify::reference_core_numbers(&g), "seed {seed}");
+            assert_eq!(
+                core_numbers(&g),
+                crate::verify::reference_core_numbers(&g),
+                "seed {seed}"
+            );
         }
     }
 }

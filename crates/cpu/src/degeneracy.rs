@@ -143,8 +143,15 @@ mod tests {
             rank[v as usize] = i;
         }
         for v in 0..g.num_vertices() {
-            let later = g.neighbors(v).iter().filter(|&&u| rank[u as usize] > rank[v as usize]).count();
-            assert!(later as u32 <= d, "vertex {v} has {later} later neighbors > degeneracy {d}");
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| rank[u as usize] > rank[v as usize])
+                .count();
+            assert!(
+                later as u32 <= d,
+                "vertex {v} has {later} later neighbors > degeneracy {d}"
+            );
         }
     }
 
@@ -155,7 +162,10 @@ mod tests {
         let (_, d) = degeneracy_order(&g);
         assert!(num <= d + 1, "{num} colors > degeneracy {d} + 1");
         for (u, v) in g.edges() {
-            assert_ne!(colors[u as usize], colors[v as usize], "edge {u}-{v} monochromatic");
+            assert_ne!(
+                colors[u as usize], colors[v as usize],
+                "edge {u}-{v} monochromatic"
+            );
         }
     }
 
@@ -177,7 +187,10 @@ mod tests {
         let g = gen::plant_clique(&noise, 8, 4);
         let (survivors, ratio) = prune_for_clique(&g, 8);
         assert!(survivors.len() >= 8);
-        assert!(ratio < 0.5, "pruning should remove most of the sparse noise, kept {ratio}");
+        assert!(
+            ratio < 0.5,
+            "pruning should remove most of the sparse noise, kept {ratio}"
+        );
         // the survivors' induced subgraph still contains an 8-clique: check
         // that at least 8 survivors are mutually adjacent is expensive;
         // instead verify every vertex of the planted clique survived by the

@@ -47,7 +47,10 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect(), node_of_root: vec![usize::MAX; n] }
+        Dsu {
+            parent: (0..n as u32).collect(),
+            node_of_root: vec![usize::MAX; n],
+        }
     }
     fn find(&mut self, v: u32) -> u32 {
         let mut v = v;
@@ -122,7 +125,11 @@ pub fn build_hierarchy(g: &Csr, core: &[u32]) -> CoreHierarchy {
         for &v in &order[level_start..i] {
             let r = dsu.find(v);
             let node_idx = *root_to_new.entry(r).or_insert_with(|| {
-                nodes.push(HcdNode { k, parent: None, vertices: Vec::new() });
+                nodes.push(HcdNode {
+                    k,
+                    parent: None,
+                    vertices: Vec::new(),
+                });
                 nodes.len() - 1
             });
             nodes[node_idx].vertices.push(v);
@@ -275,7 +282,10 @@ mod tests {
             }
             cur = h.nodes[c].parent;
         }
-        assert!(reached, "3-core component must nest inside the 1-core component");
+        assert!(
+            reached,
+            "3-core component must nest inside the 1-core component"
+        );
         // full component at the shallow node is everything
         assert_eq!(h.component_vertices(shallow), vec![0, 1, 2, 3, 4, 5]);
     }

@@ -11,7 +11,11 @@
 ///
 /// `bound` caps the answer (MPM uses the vertex's current estimate, since the
 /// estimate never increases).
-pub fn h_index_bounded(values: impl Iterator<Item = u32>, bound: u32, scratch: &mut Vec<u32>) -> u32 {
+pub fn h_index_bounded(
+    values: impl Iterator<Item = u32>,
+    bound: u32,
+    scratch: &mut Vec<u32>,
+) -> u32 {
     let b = bound as usize;
     scratch.clear();
     scratch.resize(b + 1, 0);
@@ -82,7 +86,7 @@ mod tests {
             sorted.sort_unstable_by(|a, b| b.cmp(a));
             let mut expect = 0u32;
             for (i, &v) in sorted.iter().enumerate() {
-                if v as usize >= i + 1 {
+                if v as usize > i {
                     expect = (i + 1) as u32;
                 }
             }

@@ -26,14 +26,20 @@ pub struct DynamicGraph {
 impl DynamicGraph {
     /// An edgeless graph on `n` vertices (all cores 0).
     pub fn new(n: usize) -> Self {
-        DynamicGraph { adj: vec![Vec::new(); n], core: vec![0; n] }
+        DynamicGraph {
+            adj: vec![Vec::new(); n],
+            core: vec![0; n],
+        }
     }
 
     /// Imports a static graph and computes its decomposition once (BZ).
     pub fn from_csr(g: &Csr) -> Self {
         let n = g.num_vertices() as usize;
         let adj = (0..n as u32).map(|v| g.neighbors(v).to_vec()).collect();
-        DynamicGraph { adj, core: bz::core_numbers(g) }
+        DynamicGraph {
+            adj,
+            core: bz::core_numbers(g),
+        }
     }
 
     /// Number of vertices.
@@ -111,7 +117,10 @@ impl DynamicGraph {
     /// Inserts edge `{u, v}` and repairs the core numbers. Returns `false`
     /// (and changes nothing) for self-loops or already-present edges.
     pub fn insert_edge(&mut self, u: u32, v: u32) -> bool {
-        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() || self.has_edge(u, v)
+        if u == v
+            || u as usize >= self.adj.len()
+            || v as usize >= self.adj.len()
+            || self.has_edge(u, v)
         {
             return false;
         }
@@ -119,8 +128,10 @@ impl DynamicGraph {
         self.add_adj(v, u);
 
         let k = self.core[u as usize].min(self.core[v as usize]);
-        let roots: Vec<u32> =
-            [u, v].into_iter().filter(|&w| self.core[w as usize] == k).collect();
+        let roots: Vec<u32> = [u, v]
+            .into_iter()
+            .filter(|&w| self.core[w as usize] == k)
+            .collect();
         // Candidates: the subcore of the roots. Only they can rise to k+1.
         let candidates = self.subcore(&roots, k);
         let cand_set: FxHashSet<u32> = candidates.iter().copied().collect();
@@ -137,8 +148,11 @@ impl DynamicGraph {
         }
         // Iteratively evict candidates that cannot reach k+1 support.
         let mut evicted: FxHashSet<u32> = FxHashSet::default();
-        let mut stack: Vec<u32> =
-            candidates.iter().copied().filter(|w| support[w] <= k).collect();
+        let mut stack: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|w| support[w] <= k)
+            .collect();
         for &w in &stack {
             evicted.insert(w);
         }
@@ -165,7 +179,10 @@ impl DynamicGraph {
     /// Removes edge `{u, v}` and repairs the core numbers. Returns `false`
     /// if the edge was absent.
     pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
-        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() || !self.has_edge(u, v)
+        if u == v
+            || u as usize >= self.adj.len()
+            || v as usize >= self.adj.len()
+            || !self.has_edge(u, v)
         {
             return false;
         }
@@ -176,8 +193,10 @@ impl DynamicGraph {
         if k == 0 {
             return true; // isolated endpoints cannot drop below 0
         }
-        let roots: Vec<u32> =
-            [u, v].into_iter().filter(|&w| self.core[w as usize] == k).collect();
+        let roots: Vec<u32> = [u, v]
+            .into_iter()
+            .filter(|&w| self.core[w as usize] == k)
+            .collect();
         let candidates = self.subcore(&roots, k);
         let cand_set: FxHashSet<u32> = candidates.iter().copied().collect();
 
@@ -185,13 +204,18 @@ impl DynamicGraph {
         // (drops as candidate neighbors fall to k-1).
         let mut support: FxHashMap<u32, u32> = FxHashMap::default();
         for &w in &candidates {
-            let s = self.adj[w as usize].iter().filter(|&&x| self.core[x as usize] >= k).count()
-                as u32;
+            let s = self.adj[w as usize]
+                .iter()
+                .filter(|&&x| self.core[x as usize] >= k)
+                .count() as u32;
             support.insert(w, s);
         }
         let mut dropped: FxHashSet<u32> = FxHashSet::default();
-        let mut stack: Vec<u32> =
-            candidates.iter().copied().filter(|w| support[w] < k).collect();
+        let mut stack: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|w| support[w] < k)
+            .collect();
         for &w in &stack {
             dropped.insert(w);
         }

@@ -28,6 +28,11 @@
 //! assert_eq!(core, kcore_graph::fig1_core_numbers());
 //! ```
 
+// Kernel-style code indexes several parallel device arrays with one
+// explicit loop variable, mirroring the CUDA idiom it simulates; iterator
+// rewrites would obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 pub mod bz;
 pub mod degeneracy;
 pub mod hcd;
@@ -82,7 +87,9 @@ pub fn kcore_vertices(core: &[u32], k: u32) -> Vec<u32> {
 /// Default worker count for the parallel algorithms: the machine's available
 /// parallelism (the paper uses all 48 hardware threads of its test server).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

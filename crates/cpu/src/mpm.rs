@@ -146,7 +146,10 @@ mod tests {
         let g = gen::path(64);
         let (core, rounds) = parallel_with_rounds(&g);
         assert_eq!(core, vec![1; 64]);
-        assert!(rounds >= 16, "expected slow convergence, got {rounds} rounds");
+        assert!(
+            rounds >= 16,
+            "expected slow convergence, got {rounds} rounds"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub struct ParallelPark {
 
 impl Default for ParallelPark {
     fn default() -> Self {
-        ParallelPark { threads: crate::default_threads() }
+        ParallelPark {
+            threads: crate::default_threads(),
+        }
     }
 }
 
@@ -160,7 +162,10 @@ pub fn parallel_core_numbers(g: &Csr, threads: usize) -> Vec<u32> {
                         // sub-level barrier; leader advances the window
                         if barrier.wait().is_leader() {
                             let end = sub_end.load(Ordering::Acquire);
-                            processed.fetch_add(end - sub_start.load(Ordering::Acquire), Ordering::AcqRel);
+                            processed.fetch_add(
+                                end - sub_start.load(Ordering::Acquire),
+                                Ordering::AcqRel,
+                            );
                             sub_start.store(end, Ordering::Release);
                             sub_end.store(tail.load(Ordering::Acquire), Ordering::Release);
                             cursor.store(end, Ordering::Release);
@@ -205,7 +210,11 @@ mod tests {
             let g = gen::erdos_renyi_gnm(500, 2_000, seed);
             let expect = bz::core_numbers(&g);
             assert_eq!(SerialPark.run(&g), expect, "serial seed {seed}");
-            assert_eq!(ParallelPark { threads: 4 }.run(&g), expect, "parallel seed {seed}");
+            assert_eq!(
+                ParallelPark { threads: 4 }.run(&g),
+                expect,
+                "parallel seed {seed}"
+            );
         }
     }
 
@@ -217,7 +226,10 @@ mod tests {
 
     #[test]
     fn handles_empty_and_edgeless() {
-        assert_eq!(ParallelPark { threads: 3 }.run(&Csr::empty(0)), Vec::<u32>::new());
+        assert_eq!(
+            ParallelPark { threads: 3 }.run(&Csr::empty(0)),
+            Vec::<u32>::new()
+        );
         assert_eq!(ParallelPark { threads: 3 }.run(&Csr::empty(7)), vec![0; 7]);
         assert_eq!(SerialPark.run(&Csr::empty(7)), vec![0; 7]);
     }

@@ -111,7 +111,9 @@ pub struct ParallelPkcO {
 
 impl Default for ParallelPkcO {
     fn default() -> Self {
-        ParallelPkcO { threads: crate::default_threads() }
+        ParallelPkcO {
+            threads: crate::default_threads(),
+        }
     }
 }
 
@@ -135,7 +137,9 @@ pub struct ParallelPkc {
 
 impl Default for ParallelPkc {
     fn default() -> Self {
-        ParallelPkc { threads: crate::default_threads() }
+        ParallelPkc {
+            threads: crate::default_threads(),
+        }
     }
 }
 
@@ -245,8 +249,14 @@ mod tests {
     #[test]
     fn parallel_variants_fig1() {
         for threads in [1, 2, 4] {
-            assert_eq!(ParallelPkcO { threads }.run(&fig1_graph()), fig1_core_numbers());
-            assert_eq!(ParallelPkc { threads }.run(&fig1_graph()), fig1_core_numbers());
+            assert_eq!(
+                ParallelPkcO { threads }.run(&fig1_graph()),
+                fig1_core_numbers()
+            );
+            assert_eq!(
+                ParallelPkc { threads }.run(&fig1_graph()),
+                fig1_core_numbers()
+            );
         }
     }
 
@@ -257,8 +267,16 @@ mod tests {
             let expect = bz::core_numbers(&g);
             assert_eq!(SerialPkc.run(&g), expect, "serial pkc seed {seed}");
             assert_eq!(SerialPkcO.run(&g), expect, "serial pkc-o seed {seed}");
-            assert_eq!(ParallelPkc { threads: 4 }.run(&g), expect, "pkc seed {seed}");
-            assert_eq!(ParallelPkcO { threads: 4 }.run(&g), expect, "pkc-o seed {seed}");
+            assert_eq!(
+                ParallelPkc { threads: 4 }.run(&g),
+                expect,
+                "pkc seed {seed}"
+            );
+            assert_eq!(
+                ParallelPkcO { threads: 4 }.run(&g),
+                expect,
+                "pkc-o seed {seed}"
+            );
         }
     }
 
@@ -273,7 +291,10 @@ mod tests {
 
     #[test]
     fn handles_trivial_graphs() {
-        assert_eq!(ParallelPkc { threads: 2 }.run(&Csr::empty(0)), Vec::<u32>::new());
+        assert_eq!(
+            ParallelPkc { threads: 2 }.run(&Csr::empty(0)),
+            Vec::<u32>::new()
+        );
         assert_eq!(ParallelPkc { threads: 2 }.run(&Csr::empty(5)), vec![0; 5]);
         assert_eq!(SerialPkc.run(&gen::complete(3)), vec![2, 2, 2]);
     }

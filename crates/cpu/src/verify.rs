@@ -43,7 +43,11 @@ pub enum CoreViolation {
     ExceedsDegree { vertex: u32, core: u32, degree: u32 },
     /// Vertex `v` does not have `core(v)` neighbors with core ≥ `core(v)`,
     /// i.e. the claimed "core(v)-core" would not have min degree core(v) at v.
-    NotInClaimedCore { vertex: u32, core: u32, supporters: u32 },
+    NotInClaimedCore {
+        vertex: u32,
+        core: u32,
+        supporters: u32,
+    },
     /// `core(v)` is not maximal: v also survives peeling at `core(v) + 1`.
     NotMaximal { vertex: u32, core: u32 },
 }
@@ -87,7 +91,10 @@ impl std::fmt::Display for CoreViolation {
 pub fn check_core_numbers(g: &Csr, core: &[u32]) -> Result<(), CoreViolation> {
     let n = g.num_vertices() as usize;
     if core.len() != n {
-        return Err(CoreViolation::WrongLength { expected: n, got: core.len() });
+        return Err(CoreViolation::WrongLength {
+            expected: n,
+            got: core.len(),
+        });
     }
     // Property 0: core(v) <= deg(v).
     for v in 0..n {
@@ -105,9 +112,17 @@ pub fn check_core_numbers(g: &Csr, core: &[u32]) -> Result<(), CoreViolation> {
         if k == 0 {
             continue;
         }
-        let supporters = g.neighbors(v as u32).iter().filter(|&&u| core[u as usize] >= k).count() as u32;
+        let supporters = g
+            .neighbors(v as u32)
+            .iter()
+            .filter(|&&u| core[u as usize] >= k)
+            .count() as u32;
         if supporters < k {
-            return Err(CoreViolation::NotInClaimedCore { vertex: v as u32, core: k, supporters });
+            return Err(CoreViolation::NotInClaimedCore {
+                vertex: v as u32,
+                core: k,
+                supporters,
+            });
         }
     }
     // Property 2 (maximality): peel the whole graph once, Kahn-style, using
@@ -128,7 +143,10 @@ pub fn check_core_numbers(g: &Csr, core: &[u32]) -> Result<(), CoreViolation> {
     let truth = crate::bz::core_numbers(g);
     for v in 0..n {
         if core[v] < truth[v] {
-            return Err(CoreViolation::NotMaximal { vertex: v as u32, core: core[v] });
+            return Err(CoreViolation::NotMaximal {
+                vertex: v as u32,
+                core: core[v],
+            });
         }
         // claimed > truth would already have tripped property 1 whenever the
         // overstated set is inconsistent; still, compare exactly for a crisp
@@ -137,8 +155,11 @@ pub fn check_core_numbers(g: &Csr, core: &[u32]) -> Result<(), CoreViolation> {
             return Err(CoreViolation::NotInClaimedCore {
                 vertex: v as u32,
                 core: core[v],
-                supporters: g.neighbors(v as u32).iter().filter(|&&u| core[u as usize] >= core[v]).count()
-                    as u32,
+                supporters: g
+                    .neighbors(v as u32)
+                    .iter()
+                    .filter(|&&u| core[u as usize] >= core[v])
+                    .count() as u32,
             });
         }
     }

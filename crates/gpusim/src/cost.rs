@@ -20,8 +20,11 @@
 //! (which algorithm wins, by roughly what factor), not absolute times —
 //! EXPERIMENTS.md quantifies the match.
 
+use crate::exec::LaunchConfig;
+use serde::Serialize;
+
 /// Per-block event counters accumulated by kernels.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Counters {
     /// 128-byte global-memory transactions (coalesced accesses count one per
     /// segment; an uncoalesced warp access counts one per lane).
@@ -154,15 +157,58 @@ impl CostParams {
             + c.global_atomics * self.atomic_traffic_bytes
     }
 
-    /// Kernel time: launch overhead + roofline of compute makespan vs
-    /// bandwidth. `block_cycles` holds one entry per block, in dispatch
-    /// order; blocks are greedily assigned to the least-loaded SM (the
-    /// hardware's dispatch behaviour).
-    pub fn kernel_time_s(&self, block_cycles: &[f64], total_traffic_bytes: u64) -> f64 {
+    /// Roofline decomposition of a launch: the fixed launch overhead, the
+    /// compute makespan term, and the bandwidth term. `block_cycles` holds
+    /// one entry per block, in dispatch order; blocks are greedily assigned
+    /// to the least-loaded SM (the hardware's dispatch behaviour).
+    pub fn roofline(&self, block_cycles: &[f64], total_traffic_bytes: u64) -> Roofline {
         let makespan = makespan(block_cycles, self.sm_count as usize);
-        let compute_s = makespan / self.clock_hz;
-        let mem_s = total_traffic_bytes as f64 / self.mem_bandwidth;
-        self.kernel_launch_s + compute_s.max(mem_s)
+        Roofline {
+            launch_overhead_s: self.kernel_launch_s,
+            compute_s: makespan / self.clock_hz,
+            mem_s: total_traffic_bytes as f64 / self.mem_bandwidth,
+        }
+    }
+
+    /// Kernel time: launch overhead + roofline of compute makespan vs
+    /// bandwidth (see [`CostParams::roofline`] for the decomposition).
+    pub fn kernel_time_s(&self, block_cycles: &[f64], total_traffic_bytes: u64) -> f64 {
+        self.roofline(block_cycles, total_traffic_bytes).total_s()
+    }
+}
+
+/// The roofline decomposition of one launch's simulated time.
+///
+/// The launch's duration is `launch_overhead_s + max(compute_s, mem_s)`
+/// ([`Roofline::total_s`]); [`Roofline::bound`] names the binding term.
+/// Profiling traces carry this per launch so a dump shows *why* a kernel
+/// costs what it costs, not just how much.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Roofline {
+    /// Fixed kernel-launch overhead, seconds ([`CostParams::kernel_launch_s`]).
+    pub launch_overhead_s: f64,
+    /// Compute term: block-cycle makespan over the SMs / clock, seconds.
+    pub compute_s: f64,
+    /// Bandwidth term: global traffic bytes / memory bandwidth, seconds.
+    pub mem_s: f64,
+}
+
+impl Roofline {
+    /// The launch's total simulated duration.
+    pub fn total_s(&self) -> f64 {
+        self.launch_overhead_s + self.compute_s.max(self.mem_s)
+    }
+
+    /// Which term binds: `"launch"` when the fixed overhead exceeds both
+    /// roofline terms, else `"compute"` or `"memory"` (ties → `"compute"`).
+    pub fn bound(&self) -> &'static str {
+        if self.launch_overhead_s >= self.compute_s.max(self.mem_s) {
+            "launch"
+        } else if self.compute_s >= self.mem_s {
+            "compute"
+        } else {
+            "memory"
+        }
     }
 }
 
@@ -188,16 +234,52 @@ pub fn makespan(jobs: &[f64], machines: usize) -> f64 {
 pub struct LaunchRecord {
     /// Kernel name.
     pub name: &'static str,
-    /// Number of blocks.
-    pub blocks: u32,
+    /// Algorithm phase active at launch time ([`crate::GpuContext::set_phase`]).
+    pub phase: &'static str,
+    /// Grid geometry of the launch.
+    pub config: LaunchConfig,
     /// Simulated duration of this launch, in seconds.
     pub time_s: f64,
     /// Summed counters over all blocks.
     pub counters: Counters,
+    /// Roofline decomposition of `time_s` (launch / compute / bandwidth).
+    pub roofline: Roofline,
     /// Largest single-block cycle count (load-imbalance diagnostics).
     pub max_block_cycles: f64,
     /// Total cycle count across blocks.
     pub sum_block_cycles: f64,
+    /// Per-block counter deltas, recorded only when block profiling is on
+    /// ([`crate::GpuContext::set_block_profiling`]) — `counters` is their sum.
+    pub block_counters: Option<Vec<Counters>>,
+}
+
+impl LaunchRecord {
+    /// Number of blocks in the launch grid.
+    pub fn blocks(&self) -> u32 {
+        self.config.blocks
+    }
+}
+
+/// Direction of a recorded host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TransferDir {
+    /// Host → device (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device → host (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+/// A record of one simulated host↔device transfer.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransferRecord {
+    /// Algorithm phase active at transfer time.
+    pub phase: &'static str,
+    /// Copy direction.
+    pub dir: TransferDir,
+    /// Payload size.
+    pub bytes: u64,
+    /// Simulated duration (PCIe latency + bytes / PCIe bandwidth), seconds.
+    pub time_s: f64,
 }
 
 /// Summary of a whole simulated program run.
@@ -271,8 +353,15 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = Counters { global_tx: 1, ..Default::default() };
-        let b = Counters { global_tx: 2, warp_instrs: 5, ..Default::default() };
+        let mut a = Counters {
+            global_tx: 1,
+            ..Default::default()
+        };
+        let b = Counters {
+            global_tx: 2,
+            warp_instrs: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.global_tx, 3);
         assert_eq!(a.warp_instrs, 5);

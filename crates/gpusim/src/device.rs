@@ -55,7 +55,12 @@ pub struct Device {
 impl Device {
     /// A device with `capacity_bytes` of global memory.
     pub fn new(capacity_bytes: u64) -> Self {
-        Device { capacity: capacity_bytes, used: 0, peak: 0, slots: Vec::new() }
+        Device {
+            capacity: capacity_bytes,
+            used: 0,
+            peak: 0,
+            slots: Vec::new(),
+        }
     }
 
     /// Allocates `len` 32-bit words, zero-initialized.
@@ -95,18 +100,26 @@ impl Device {
     /// Panics on double free or an invalid handle — both are host-program
     /// bugs, exactly as they would be under CUDA.
     pub fn free(&mut self, id: BufferId) {
-        let alloc = self.slots[id.0].take().expect("double free / invalid buffer id");
+        let alloc = self.slots[id.0]
+            .take()
+            .expect("double free / invalid buffer id");
         self.used -= alloc.data.len() as u64 * 4;
     }
 
     /// The words of a buffer. Atomic because blocks execute concurrently.
     pub fn buffer(&self, id: BufferId) -> &[AtomicU32] {
-        &self.slots[id.0].as_ref().expect("freed or invalid buffer id").data
+        &self.slots[id.0]
+            .as_ref()
+            .expect("freed or invalid buffer id")
+            .data
     }
 
     /// Name given at allocation time (for diagnostics).
     pub fn buffer_name(&self, id: BufferId) -> &str {
-        &self.slots[id.0].as_ref().expect("freed or invalid buffer id").name
+        &self.slots[id.0]
+            .as_ref()
+            .expect("freed or invalid buffer id")
+            .name
     }
 
     /// Number of words in a buffer.
@@ -124,7 +137,10 @@ impl Device {
     /// Copies host data into a buffer.
     pub fn write_slice(&self, id: BufferId, data: &[u32]) {
         let buf = self.buffer(id);
-        assert!(data.len() <= buf.len(), "host slice larger than device buffer");
+        assert!(
+            data.len() <= buf.len(),
+            "host slice larger than device buffer"
+        );
         for (w, &v) in buf.iter().zip(data) {
             w.store(v, Ordering::Relaxed);
         }
@@ -132,7 +148,10 @@ impl Device {
 
     /// Copies a buffer back to host.
     pub fn read_vec(&self, id: BufferId) -> Vec<u32> {
-        self.buffer(id).iter().map(|w| w.load(Ordering::Relaxed)).collect()
+        self.buffer(id)
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Bytes currently allocated.

@@ -14,7 +14,7 @@
 //! slices. The per-access helpers ([`BlockCtx::gread`], [`BlockCtx::atomic_add`],
 //! …) bundle the access with its charge for the common cases.
 
-use crate::cost::{Counters, CostParams, LaunchRecord, SimReport};
+use crate::cost::{CostParams, Counters, LaunchRecord, SimReport, TransferDir, TransferRecord};
 use crate::device::{BufferId, Device, OomError};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -65,7 +65,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// The paper's configuration: 108 blocks of 1024 threads (§VI).
     pub fn paper() -> Self {
-        LaunchConfig { blocks: 108, threads_per_block: 1024 }
+        LaunchConfig {
+            blocks: 108,
+            threads_per_block: 1024,
+        }
     }
 
     /// Warps per block (`BLK_DIM >> 5`).
@@ -190,7 +193,12 @@ pub struct BlockCtx<'a> {
 }
 
 impl<'a> BlockCtx<'a> {
-    fn new(device: &'a Device, block_idx: u32, cfg: LaunchConfig, shared_capacity_bytes: u64) -> Self {
+    fn new(
+        device: &'a Device,
+        block_idx: u32,
+        cfg: LaunchConfig,
+        shared_capacity_bytes: u64,
+    ) -> Self {
         BlockCtx {
             device,
             block_idx,
@@ -344,9 +352,12 @@ pub struct GpuContext {
     time_s: f64,
     limit_s: Option<f64>,
     launches: Vec<LaunchRecord>,
+    transfers: Vec<TransferRecord>,
     h2d_bytes: u64,
     d2h_bytes: u64,
     schedule_seed: u64,
+    phase: &'static str,
+    profile_blocks: bool,
 }
 
 impl GpuContext {
@@ -360,10 +371,34 @@ impl GpuContext {
             time_s: 0.0,
             limit_s: None,
             launches: Vec::new(),
+            transfers: Vec::new(),
             h2d_bytes: 0,
             d2h_bytes: 0,
             schedule_seed: 0,
+            phase: "main",
+            profile_blocks: false,
         }
+    }
+
+    /// Sets the algorithm phase stamped onto subsequent launch and transfer
+    /// records (e.g. `"Scan"`, `"Loop"`); returns the previous phase so
+    /// callers can restore it. Phases group launches in profiling traces
+    /// ([`crate::trace::Trace`]).
+    pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// The currently active phase.
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+
+    /// Enables/disables per-block counter recording: when on, each
+    /// [`LaunchRecord`] keeps every block's counter delta (`block_counters`)
+    /// instead of only their sum. Off by default — per-block vectors cost
+    /// memory proportional to `blocks × launches`.
+    pub fn set_block_profiling(&mut self, on: bool) {
+        self.profile_blocks = on;
     }
 
     /// Overrides per-block shared memory capacity.
@@ -380,7 +415,9 @@ impl GpuContext {
     fn check_limit(&self) -> Result<(), SimError> {
         if let Some(limit) = self.limit_s {
             if self.time_s > limit {
-                return Err(SimError::TimeLimit { limit_ms: limit * 1e3 });
+                return Err(SimError::TimeLimit {
+                    limit_ms: limit * 1e3,
+                });
             }
         }
         Ok(())
@@ -391,14 +428,29 @@ impl GpuContext {
         Ok(self.device.alloc(name, len)?)
     }
 
+    /// Records one host↔device copy: advances the clock and appends a
+    /// [`TransferRecord`] stamped with the active phase.
+    fn record_transfer(&mut self, dir: TransferDir, bytes: u64) {
+        let time_s = self.cost.pcie_latency_s + bytes as f64 / self.cost.pcie_bandwidth;
+        match dir {
+            TransferDir::HostToDevice => self.h2d_bytes += bytes,
+            TransferDir::DeviceToHost => self.d2h_bytes += bytes,
+        }
+        self.time_s += time_s;
+        self.transfers.push(TransferRecord {
+            phase: self.phase,
+            dir,
+            bytes,
+            time_s,
+        });
+    }
+
     /// `cudaMalloc` + `cudaMemcpy` host→device, charged at PCIe bandwidth.
     pub fn htod(&mut self, name: &str, data: &[u32]) -> Result<BufferId, SimError> {
         self.check_limit()?;
         let id = self.device.alloc(name, data.len())?;
         self.device.write_slice(id, data);
-        let bytes = data.len() as u64 * 4;
-        self.h2d_bytes += bytes;
-        self.time_s += self.cost.pcie_latency_s + bytes as f64 / self.cost.pcie_bandwidth;
+        self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
         Ok(id)
     }
 
@@ -407,9 +459,7 @@ impl GpuContext {
     /// `gpu_count`).
     pub fn dtoh(&mut self, id: BufferId) -> Vec<u32> {
         let out = self.device.read_vec(id);
-        let bytes = out.len() as u64 * 4;
-        self.d2h_bytes += bytes;
-        self.time_s += self.cost.pcie_latency_s + bytes as f64 / self.cost.pcie_bandwidth;
+        self.record_transfer(TransferDir::DeviceToHost, out.len() as u64 * 4);
         out
     }
 
@@ -417,19 +467,26 @@ impl GpuContext {
     /// pattern), charged as one synchronizing D2H copy.
     pub fn dtoh_word(&mut self, id: BufferId, idx: usize) -> u32 {
         let v = self.device.buffer(id)[idx].load(Ordering::Relaxed);
-        self.d2h_bytes += 4;
-        self.time_s += self.cost.pcie_latency_s + 4.0 / self.cost.pcie_bandwidth;
+        self.record_transfer(TransferDir::DeviceToHost, 4);
         v
     }
 
     /// Launches a kernel: runs `kernel` once per block (in parallel),
     /// aggregates the counters, and advances the simulated clock.
-    pub fn launch<F>(&mut self, name: &'static str, cfg: LaunchConfig, kernel: F) -> Result<(), SimError>
+    pub fn launch<F>(
+        &mut self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<(), SimError>
     where
         F: Fn(&mut BlockCtx<'_>) -> Result<(), KernelError> + Sync,
     {
         self.check_limit()?;
-        assert!(cfg.threads_per_block % 32 == 0, "BLK_DIM must be a multiple of 32");
+        assert!(
+            cfg.threads_per_block.is_multiple_of(32),
+            "BLK_DIM must be a multiple of 32"
+        );
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
         let results: Vec<Result<Counters, KernelError>> = (0..cfg.blocks)
@@ -440,26 +497,50 @@ impl GpuContext {
                 Ok(blk.counters)
             })
             .collect();
+        let per_block: Vec<Counters> = results
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .map_err(SimError::Kernel)?;
+        self.finish_launch(name, cfg, per_block)
+    }
 
+    /// Shared launch epilogue: prices the per-block counters with the
+    /// roofline model, advances the clock, and appends a [`LaunchRecord`]
+    /// stamped with the active phase.
+    fn finish_launch(
+        &mut self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        per_block: Vec<Counters>,
+    ) -> Result<(), SimError> {
+        let block_cycles: Vec<f64> = per_block
+            .iter()
+            .map(|c| self.cost.block_cycles(c))
+            .collect();
         let mut total = Counters::default();
-        let mut block_cycles = Vec::with_capacity(cfg.blocks as usize);
-        for r in results {
-            let c = r.map_err(SimError::Kernel)?;
-            block_cycles.push(self.cost.block_cycles(&c));
-            total.merge(&c);
+        for c in &per_block {
+            total.merge(c);
         }
         let traffic = self.cost.traffic_bytes(&total);
-        let t = self.cost.kernel_time_s(&block_cycles, traffic);
+        let roofline = self.cost.roofline(&block_cycles, traffic);
+        let t = roofline.total_s();
         self.time_s += t;
         let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
         let sum_block_cycles = block_cycles.iter().sum();
         self.launches.push(LaunchRecord {
             name,
-            blocks: cfg.blocks,
+            phase: self.phase,
+            config: cfg,
             time_s: t,
             counters: total,
+            roofline,
             max_block_cycles,
             sum_block_cycles,
+            block_counters: if self.profile_blocks {
+                Some(per_block)
+            } else {
+                None
+            },
         });
         self.check_limit()
     }
@@ -490,7 +571,10 @@ impl GpuContext {
         FS: Fn(&mut BlockCtx<'_>, &mut S) -> Result<bool, KernelError>,
     {
         self.check_limit()?;
-        assert!(cfg.threads_per_block % 32 == 0, "BLK_DIM must be a multiple of 32");
+        assert!(
+            cfg.threads_per_block.is_multiple_of(32),
+            "BLK_DIM must be a multiple of 32"
+        );
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
 
@@ -529,26 +613,9 @@ impl GpuContext {
             }
         }
 
-        let mut total = Counters::default();
-        let mut block_cycles = Vec::with_capacity(blocks.len());
-        for (blk, _, _) in &blocks {
-            block_cycles.push(self.cost.block_cycles(&blk.counters));
-            total.merge(&blk.counters);
-        }
-        let traffic = self.cost.traffic_bytes(&total);
-        let t = self.cost.kernel_time_s(&block_cycles, traffic);
-        self.time_s += t;
-        let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
-        let sum_block_cycles = block_cycles.iter().sum();
-        self.launches.push(LaunchRecord {
-            name,
-            blocks: cfg.blocks,
-            time_s: t,
-            counters: total,
-            max_block_cycles,
-            sum_block_cycles,
-        });
-        self.check_limit()
+        let per_block: Vec<Counters> = blocks.iter().map(|(blk, _, _)| blk.counters).collect();
+        drop(blocks); // release the device borrow before the &mut epilogue
+        self.finish_launch(name, cfg, per_block)
     }
 
     /// Sets the wave-scheduling seed used by [`GpuContext::launch_stepped`].
@@ -572,6 +639,11 @@ impl GpuContext {
     /// Launch records, in order.
     pub fn launches(&self) -> &[LaunchRecord] {
         &self.launches
+    }
+
+    /// Host↔device transfer records, in order.
+    pub fn transfers(&self) -> &[TransferRecord] {
+        &self.transfers
     }
 
     /// Rollup of the whole run.
@@ -604,7 +676,10 @@ mod tests {
         let mut c = ctx();
         let n = 1000usize;
         let buf = c.htod("x", &vec![1u32; n]).unwrap();
-        let cfg = LaunchConfig { blocks: 8, threads_per_block: 64 };
+        let cfg = LaunchConfig {
+            blocks: 8,
+            threads_per_block: 64,
+        };
         c.launch("incr", cfg, |blk| {
             let data = blk.device.buffer(buf);
             let mut i = blk.block_idx as usize;
@@ -625,7 +700,10 @@ mod tests {
     fn atomics_are_cross_block_safe() {
         let mut c = ctx();
         let counter = c.alloc("counter", 1).unwrap();
-        let cfg = LaunchConfig { blocks: 64, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 64,
+            threads_per_block: 32,
+        };
         c.launch("count", cfg, |blk| {
             let cell = &blk.device.buffer(counter)[0];
             for _ in 0..100 {
@@ -642,7 +720,10 @@ mod tests {
         let mut c = ctx();
         c.set_shared_capacity(1024); // 256 words
         let out = c.alloc("out", 4).unwrap();
-        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 4,
+            threads_per_block: 32,
+        };
         c.launch("sh", cfg, |blk| {
             let arr = blk.shared_alloc(10)?;
             blk.sh_write(arr, 0, blk.block_idx);
@@ -660,14 +741,20 @@ mod tests {
                 Ok(())
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::Kernel(KernelError::SharedMemExceeded { .. })));
+        assert!(matches!(
+            err,
+            SimError::Kernel(KernelError::SharedMemExceeded { .. })
+        ));
     }
 
     #[test]
     fn shared_atomic_returns_old_value() {
         let mut c = ctx();
         let out = c.alloc("out", 3).unwrap();
-        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+        };
         c.launch("sa", cfg, |blk| {
             let e = blk.shared_alloc(1)?;
             let o1 = blk.sh_atomic_add(e, 0, 5);
@@ -690,7 +777,10 @@ mod tests {
         assert!(c.elapsed_ms() > 0.0);
         c.set_time_limit_ms(c.elapsed_ms() + 1e-6);
         // one launch is fine (limit checked after)...
-        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+        };
         let r1 = c.launch("k", cfg, |blk| {
             blk.charge_instr(1_000_000); // push past the limit
             let _ = buf;
@@ -713,17 +803,25 @@ mod tests {
     #[test]
     fn kernel_error_propagates() {
         let mut c = ctx();
-        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 4,
+            threads_per_block: 32,
+        };
         let err = c
             .launch("boom", cfg, |blk| {
                 if blk.block_idx == 2 {
-                    Err(KernelError::BufferOverflow { what: "buf[2]".into() })
+                    Err(KernelError::BufferOverflow {
+                        what: "buf[2]".into(),
+                    })
                 } else {
                     Ok(())
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::Kernel(KernelError::BufferOverflow { .. })));
+        assert!(matches!(
+            err,
+            SimError::Kernel(KernelError::BufferOverflow { .. })
+        ));
     }
 
     #[test]
@@ -735,7 +833,10 @@ mod tests {
         let pool = c.alloc("pool", 1).unwrap();
         c.device.write_slice(pool, &[100]);
         let taken = c.alloc("taken", 4).unwrap();
-        let cfg = LaunchConfig { blocks: 4, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 4,
+            threads_per_block: 32,
+        };
         c.launch_stepped(
             "drain",
             cfg,
@@ -755,14 +856,20 @@ mod tests {
         let shares = c.dtoh(taken);
         assert_eq!(shares.iter().sum::<u32>(), 100);
         for (b, &s) in shares.iter().enumerate() {
-            assert!((20..=30).contains(&s), "block {b} took {s} of 100 — not fair");
+            assert!(
+                (20..=30).contains(&s),
+                "block {b} took {s} of 100 — not fair"
+            );
         }
     }
 
     #[test]
     fn stepped_launch_records_and_charges() {
         let mut c = ctx();
-        let cfg = LaunchConfig { blocks: 3, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 3,
+            threads_per_block: 32,
+        };
         c.launch_stepped(
             "steps",
             cfg,
@@ -785,7 +892,10 @@ mod tests {
     #[test]
     fn stepped_launch_propagates_kernel_errors() {
         let mut c = ctx();
-        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 2,
+            threads_per_block: 32,
+        };
         let err = c
             .launch_stepped(
                 "boom",
@@ -816,7 +926,10 @@ mod tests {
     fn report_aggregates() {
         let mut c = ctx();
         let buf = c.htod("x", &[0u32; 64]).unwrap();
-        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 2,
+            threads_per_block: 32,
+        };
         for _ in 0..3 {
             c.launch("k", cfg, |blk| {
                 blk.charge_instr(10);

@@ -45,12 +45,23 @@
 //! assert!(ctx.elapsed_ms() > 0.0);
 //! ```
 
+// Kernel-style code indexes several parallel device arrays with one
+// explicit loop variable, mirroring the CUDA idiom it simulates; iterator
+// rewrites would obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 pub mod cost;
 pub mod device;
 pub mod exec;
 pub mod scan;
+pub mod trace;
 pub mod warp;
 
-pub use cost::{CostParams, Counters, LaunchRecord, SimReport};
+pub use cost::{
+    CostParams, Counters, LaunchRecord, Roofline, SimReport, TransferDir, TransferRecord,
+};
 pub use device::{BufferId, Device, OomError};
-pub use exec::{BlockCtx, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions};
+pub use exec::{
+    BlockCtx, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
+};
+pub use trace::{DeviceInfo, LaunchEvent, PhaseSummary, Totals, Trace, TransferEvent};

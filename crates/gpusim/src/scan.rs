@@ -36,7 +36,10 @@ pub fn hs_inclusive_scan(blk: &mut BlockCtx<'_>, lanes: &mut [u32]) {
 /// iterations" (§IV-C) — which is why BC/EC use HS or ballot instead.
 pub fn blelloch_exclusive_scan(blk: &mut BlockCtx<'_>, lanes: &mut [u32]) {
     let n = lanes.len();
-    assert!(n <= WARP_SIZE && n.is_power_of_two() || n <= 1, "blelloch needs a power-of-two width");
+    assert!(
+        n <= WARP_SIZE && n.is_power_of_two() || n <= 1,
+        "blelloch needs a power-of-two width"
+    );
     if n <= 1 {
         if n == 1 {
             lanes[0] = 0;
@@ -79,8 +82,9 @@ pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
     assert!(flags.len() <= WARP_SIZE);
     let bits = ballot_sync(blk, flags);
     blk.charge_instr(2); // mask construction + __popc, one SIMT step each
-    let offsets: Vec<u32> =
-        (0..flags.len()).map(|lane| (bits & lane_mask_lt(lane)).count_ones()).collect();
+    let offsets: Vec<u32> = (0..flags.len())
+        .map(|lane| (bits & lane_mask_lt(lane)).count_ones())
+        .collect();
     (offsets, bits.count_ones())
 }
 
@@ -97,7 +101,10 @@ pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
 /// Block barriers separate the stages. Returns `(exclusive offsets, total)`.
 pub fn block_two_stage_scan(blk: &mut BlockCtx<'_>, values: &[u32]) -> (Vec<u32>, u32) {
     let n = values.len();
-    assert_eq!(n, blk.cfg.threads_per_block as usize, "one value per thread");
+    assert_eq!(
+        n, blk.cfg.threads_per_block as usize,
+        "one value per thread"
+    );
     let num_warps = n.div_ceil(WARP_SIZE);
     assert!(num_warps <= WARP_SIZE, "warp totals must fit one warp");
 
@@ -154,7 +161,10 @@ mod tests {
 
     fn with_block(threads: u32, f: impl Fn(&mut BlockCtx<'_>) + Sync) {
         let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
-        let cfg = LaunchConfig { blocks: 1, threads_per_block: threads };
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: threads,
+        };
         c.launch("t", cfg, |blk| {
             f(blk);
             Ok(())
@@ -206,7 +216,10 @@ mod tests {
     fn blelloch_takes_twice_the_steps_of_hs() {
         // The §IV-C reason for picking HS: count charged instructions.
         let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
-        let cfg = LaunchConfig { blocks: 2, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 2,
+            threads_per_block: 32,
+        };
         let hs_cost = std::sync::atomic::AtomicU32::new(0);
         let bl_cost = std::sync::atomic::AtomicU32::new(0);
         c.launch("cmp", cfg, |blk| {
@@ -214,10 +227,16 @@ mod tests {
             let before = blk.counters.warp_instrs;
             if blk.block_idx == 0 {
                 hs_inclusive_scan(blk, &mut v);
-                hs_cost.store((blk.counters.warp_instrs - before) as u32, std::sync::atomic::Ordering::Relaxed);
+                hs_cost.store(
+                    (blk.counters.warp_instrs - before) as u32,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
             } else {
                 blelloch_exclusive_scan(blk, &mut v);
-                bl_cost.store((blk.counters.warp_instrs - before) as u32, std::sync::atomic::Ordering::Relaxed);
+                bl_cost.store(
+                    (blk.counters.warp_instrs - before) as u32,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
             }
             Ok(())
         })
@@ -251,7 +270,10 @@ mod tests {
             let mut v = [1u32; 32];
             hs_inclusive_scan(blk, &mut v);
             let hs_cost = blk.counters.warp_instrs - before;
-            assert!(ballot_cost < hs_cost, "ballot {ballot_cost} vs hs {hs_cost}");
+            assert!(
+                ballot_cost < hs_cost,
+                "ballot {ballot_cost} vs hs {hs_cost}"
+            );
         });
     }
 
@@ -274,7 +296,10 @@ mod tests {
             let vals = vec![1u32; 1024];
             let before = blk.counters.barriers;
             let _ = block_two_stage_scan(blk, &vals);
-            assert!(blk.counters.barriers >= before + 2, "two stage boundaries expected");
+            assert!(
+                blk.counters.barriers >= before + 2,
+                "two stage boundaries expected"
+            );
         });
     }
 }

@@ -41,7 +41,15 @@ pub fn shfl_broadcast(blk: &mut BlockCtx<'_>, values: &[u32], src_lane: usize) -
 /// Hillis–Steele scan.
 pub fn shfl_up(blk: &mut BlockCtx<'_>, values: &[u32], delta: usize) -> Vec<u32> {
     blk.charge_instr(1);
-    (0..values.len()).map(|i| if i >= delta { values[i - delta] } else { values[i] }).collect()
+    (0..values.len())
+        .map(|i| {
+            if i >= delta {
+                values[i - delta]
+            } else {
+                values[i]
+            }
+        })
+        .collect()
 }
 
 /// The mask of bits strictly below `lane` — the "last j bits" mask of the
@@ -60,7 +68,10 @@ mod tests {
     /// Runs `f` inside a one-block kernel and returns the instruction count.
     fn in_block(f: impl Fn(&mut BlockCtx<'_>) + Sync) -> u64 {
         let mut c = GpuContext::new(CostParams::p100(), 1 << 16);
-        let cfg = LaunchConfig { blocks: 1, threads_per_block: 32 };
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+        };
         let instrs = AtomicU32::new(0);
         c.launch("t", cfg, |blk| {
             f(blk);

@@ -28,12 +28,18 @@ impl GraphBuilder {
     /// An empty builder that will produce at least `n` vertices even if the
     /// trailing ones are isolated.
     pub fn with_num_vertices(n: u32) -> Self {
-        GraphBuilder { edges: Vec::new(), min_vertices: n }
+        GraphBuilder {
+            edges: Vec::new(),
+            min_vertices: n,
+        }
     }
 
     /// Pre-allocates for `m` edges.
     pub fn with_capacity(m: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(m), min_vertices: 0 }
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            min_vertices: 0,
+        }
     }
 
     /// Records the undirected edge `{u, v}`. Self-loops and duplicates are
@@ -56,7 +62,10 @@ impl GraphBuilder {
     /// Builds the normalized CSR: undirected, no self-loops, no duplicate
     /// edges, sorted adjacency lists.
     pub fn build(self) -> Csr {
-        let GraphBuilder { edges, min_vertices } = self;
+        let GraphBuilder {
+            edges,
+            min_vertices,
+        } = self;
         let n = edges
             .iter()
             .map(|&(u, v)| u.max(v) + 1)

@@ -32,7 +32,10 @@ pub enum CsrError {
     /// `offsets` decreased between two vertices.
     NonMonotonicOffsets { vertex: VertexId },
     /// A neighbor ID was out of range.
-    NeighborOutOfRange { vertex: VertexId, neighbor: VertexId },
+    NeighborOutOfRange {
+        vertex: VertexId,
+        neighbor: VertexId,
+    },
     /// An adjacency list contained a self-loop.
     SelfLoop { vertex: VertexId },
     /// An adjacency list was unsorted or contained duplicates.
@@ -53,7 +56,10 @@ impl std::fmt::Display for CsrError {
             }
             CsrError::SelfLoop { vertex } => write!(f, "vertex {vertex} has a self-loop"),
             CsrError::UnsortedAdjacency { vertex } => {
-                write!(f, "adjacency list of vertex {vertex} unsorted or has duplicates")
+                write!(
+                    f,
+                    "adjacency list of vertex {vertex} unsorted or has duplicates"
+                )
             }
             CsrError::Asymmetric { u, v } => {
                 write!(f, "edge ({u}, {v}) present but ({v}, {u}) missing")
@@ -70,24 +76,36 @@ impl Csr {
     /// Prefer [`crate::GraphBuilder`] for constructing graphs from edges; this
     /// entry point exists for loaders that already produce CSR data.
     pub fn new(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Result<Self, CsrError> {
-        if offsets.is_empty() || *offsets.last().unwrap() != neighbors.len() as u64 || offsets[0] != 0 {
+        if offsets.is_empty()
+            || *offsets.last().unwrap() != neighbors.len() as u64
+            || offsets[0] != 0
+        {
             return Err(CsrError::BadOffsets);
         }
         let n = offsets.len() - 1;
         for v in 0..n {
             if offsets[v] > offsets[v + 1] {
-                return Err(CsrError::NonMonotonicOffsets { vertex: v as VertexId });
+                return Err(CsrError::NonMonotonicOffsets {
+                    vertex: v as VertexId,
+                });
             }
             let list = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
             for (i, &u) in list.iter().enumerate() {
                 if u as usize >= n {
-                    return Err(CsrError::NeighborOutOfRange { vertex: v as VertexId, neighbor: u });
+                    return Err(CsrError::NeighborOutOfRange {
+                        vertex: v as VertexId,
+                        neighbor: u,
+                    });
                 }
                 if u == v as VertexId {
-                    return Err(CsrError::SelfLoop { vertex: v as VertexId });
+                    return Err(CsrError::SelfLoop {
+                        vertex: v as VertexId,
+                    });
                 }
                 if i > 0 && list[i - 1] >= u {
-                    return Err(CsrError::UnsortedAdjacency { vertex: v as VertexId });
+                    return Err(CsrError::UnsortedAdjacency {
+                        vertex: v as VertexId,
+                    });
                 }
             }
         }
@@ -115,7 +133,10 @@ impl Csr {
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Csr { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        Csr {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -167,7 +188,10 @@ impl Csr {
 
     /// Maximum degree, or 0 for an empty graph.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether edge `{u, v}` exists.
@@ -178,7 +202,11 @@ impl Csr {
     /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -193,7 +221,12 @@ impl Csr {
         offsets.push(0u64);
         for v in 0..n as VertexId {
             if keep[v as usize] {
-                neighbors.extend(self.neighbors(v).iter().copied().filter(|&u| keep[u as usize]));
+                neighbors.extend(
+                    self.neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&u| keep[u as usize]),
+                );
             }
             offsets.push(neighbors.len() as u64);
         }
@@ -260,7 +293,10 @@ mod tests {
         // out of range
         assert_eq!(
             Csr::new(vec![0, 1, 2], vec![5, 0]).unwrap_err(),
-            CsrError::NeighborOutOfRange { vertex: 0, neighbor: 5 }
+            CsrError::NeighborOutOfRange {
+                vertex: 0,
+                neighbor: 5
+            }
         );
         // self loop
         assert_eq!(

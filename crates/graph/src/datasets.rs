@@ -40,11 +40,26 @@ pub enum GenSpec {
     /// R-MAT with Graph500 skew.
     Rmat { scale: u32, m: u64 },
     /// Super-hub skew (communication / tracker networks).
-    Hubs { n: u32, m_background: u64, hubs: u32, hub_fraction: f64 },
+    Hubs {
+        n: u32,
+        m_background: u64,
+        hubs: u32,
+        hub_fraction: f64,
+    },
     /// Web-crawl-like (host communities + skewed backbone).
-    Web { n: u32, host_size: u32, intra_p: f64, m_backbone: u64 },
+    Web {
+        n: u32,
+        host_size: u32,
+        intra_p: f64,
+        m_backbone: u64,
+    },
     /// Collaboration (union of overlapping cliques).
-    Collab { n: u32, groups: u32, min_size: u32, max_size: u32 },
+    Collab {
+        n: u32,
+        groups: u32,
+        min_size: u32,
+        max_size: u32,
+    },
 }
 
 /// One dataset of Table I: name, category, paper statistics, stand-in config.
@@ -68,17 +83,30 @@ impl Dataset {
     /// Generates the stand-in graph (deterministic for the registry entry).
     pub fn generate(&self) -> Csr {
         let base = match self.spec {
-            GenSpec::Ba { n, m_lo, m_hi } => gen::preferential_attachment(n, m_lo..=m_hi, self.seed),
-            GenSpec::Rmat { scale, m } => gen::rmat(scale, m, gen::RmatParams::graph500(), self.seed),
-            GenSpec::Hubs { n, m_background, hubs, hub_fraction } => {
-                gen::power_law_hubs(n, m_background, hubs, hub_fraction, self.seed)
+            GenSpec::Ba { n, m_lo, m_hi } => {
+                gen::preferential_attachment(n, m_lo..=m_hi, self.seed)
             }
-            GenSpec::Web { n, host_size, intra_p, m_backbone } => {
-                gen::web_crawl(n, host_size, intra_p, m_backbone, self.seed)
+            GenSpec::Rmat { scale, m } => {
+                gen::rmat(scale, m, gen::RmatParams::graph500(), self.seed)
             }
-            GenSpec::Collab { n, groups, min_size, max_size } => {
-                gen::overlapping_cliques(n, groups, min_size..=max_size, self.seed)
-            }
+            GenSpec::Hubs {
+                n,
+                m_background,
+                hubs,
+                hub_fraction,
+            } => gen::power_law_hubs(n, m_background, hubs, hub_fraction, self.seed),
+            GenSpec::Web {
+                n,
+                host_size,
+                intra_p,
+                m_backbone,
+            } => gen::web_crawl(n, host_size, intra_p, m_backbone, self.seed),
+            GenSpec::Collab {
+                n,
+                groups,
+                min_size,
+                max_size,
+            } => gen::overlapping_cliques(n, groups, min_size..=max_size, self.seed),
         };
         let boosted = if self.core_boost >= 2 {
             gen::plant_clique(&base, self.core_boost, self.seed ^ 0x9e37_79b9)
@@ -111,7 +139,11 @@ pub fn registry() -> Vec<Dataset> {
             name: "amazon0601",
             category: "Co-purchasing",
             paper: row!(403_394, 3_387_388, 16.8, 15.0, 2_752, 10),
-            spec: GenSpec::Ba { n: 40_000, m_lo: 1, m_hi: 16 },
+            spec: GenSpec::Ba {
+                n: 40_000,
+                m_lo: 1,
+                m_hi: 16,
+            },
             core_boost: 0, // attachment up to 16 naturally lands k_max ≈ 8-12
             seed: 0xA001,
         },
@@ -119,7 +151,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "wiki-Talk",
             category: "Communication",
             paper: row!(2_394_385, 5_021_410, 4.2, 103.0, 100_029, 131),
-            spec: GenSpec::Hubs { n: 120_000, m_background: 200_000, hubs: 4, hub_fraction: 0.04 },
+            spec: GenSpec::Hubs {
+                n: 120_000,
+                m_background: 200_000,
+                hubs: 4,
+                hub_fraction: 0.04,
+            },
             core_boost: 34,
             seed: 0xA002,
         },
@@ -127,7 +164,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "web-Google",
             category: "Web Graph",
             paper: row!(875_713, 5_105_039, 11.7, 39.0, 6_332, 44),
-            spec: GenSpec::Web { n: 60_000, host_size: 8, intra_p: 0.5, m_backbone: 150_000 },
+            spec: GenSpec::Web {
+                n: 60_000,
+                host_size: 8,
+                intra_p: 0.5,
+                m_backbone: 150_000,
+            },
             core_boost: 24,
             seed: 0xA003,
         },
@@ -135,7 +177,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "web-BerkStan",
             category: "Web Graph",
             paper: row!(685_230, 7_600_595, 22.2, 285.0, 84_230, 201),
-            spec: GenSpec::Web { n: 50_000, host_size: 14, intra_p: 0.6, m_backbone: 120_000 },
+            spec: GenSpec::Web {
+                n: 50_000,
+                host_size: 14,
+                intra_p: 0.6,
+                m_backbone: 120_000,
+            },
             core_boost: 64,
             seed: 0xA004,
         },
@@ -143,7 +190,10 @@ pub fn registry() -> Vec<Dataset> {
             name: "as-Skitter",
             category: "Internet Topology",
             paper: row!(1_696_415, 11_095_298, 13.1, 137.0, 35_455, 111),
-            spec: GenSpec::Rmat { scale: 17, m: 450_000 },
+            spec: GenSpec::Rmat {
+                scale: 17,
+                m: 450_000,
+            },
             core_boost: 40,
             seed: 0xA005,
         },
@@ -151,7 +201,11 @@ pub fn registry() -> Vec<Dataset> {
             name: "patentcite",
             category: "Citation Network",
             paper: row!(3_774_768, 16_518_948, 8.8, 10.0, 793, 64),
-            spec: GenSpec::Ba { n: 150_000, m_lo: 1, m_hi: 10 },
+            spec: GenSpec::Ba {
+                n: 150_000,
+                m_lo: 1,
+                m_hi: 10,
+            },
             core_boost: 28,
             seed: 0xA006,
         },
@@ -159,7 +213,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "in-2004",
             category: "Web Graph",
             paper: row!(1_382_908, 16_917_053, 24.5, 147.0, 21_869, 488),
-            spec: GenSpec::Web { n: 55_000, host_size: 16, intra_p: 0.7, m_backbone: 150_000 },
+            spec: GenSpec::Web {
+                n: 55_000,
+                host_size: 16,
+                intra_p: 0.7,
+                m_backbone: 150_000,
+            },
             core_boost: 96,
             seed: 0xA007,
         },
@@ -167,7 +226,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "dblp-author",
             category: "Collaboration",
             paper: row!(5_624_219, 24_564_102, 8.7, 11.0, 1_389, 14),
-            spec: GenSpec::Collab { n: 220_000, groups: 120_000, min_size: 2, max_size: 6 },
+            spec: GenSpec::Collab {
+                n: 220_000,
+                groups: 120_000,
+                min_size: 2,
+                max_size: 6,
+            },
             core_boost: 0, // overlapping small cliques naturally land k_max ≈ 10-16
             seed: 0xA008,
         },
@@ -175,7 +239,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "wb-edu",
             category: "Web Graph",
             paper: row!(9_845_725, 57_156_537, 11.6, 49.0, 25_781, 448),
-            spec: GenSpec::Web { n: 200_000, host_size: 10, intra_p: 0.6, m_backbone: 500_000 },
+            spec: GenSpec::Web {
+                n: 200_000,
+                host_size: 10,
+                intra_p: 0.6,
+                m_backbone: 500_000,
+            },
             core_boost: 90,
             seed: 0xA009,
         },
@@ -183,7 +252,10 @@ pub fn registry() -> Vec<Dataset> {
             name: "soc-LiveJournal1",
             category: "Social Network",
             paper: row!(4_847_571, 68_993_773, 28.5, 52.0, 20_333, 372),
-            spec: GenSpec::Rmat { scale: 17, m: 1_400_000 },
+            spec: GenSpec::Rmat {
+                scale: 17,
+                m: 1_400_000,
+            },
             core_boost: 76,
             seed: 0xA010,
         },
@@ -191,7 +263,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "wikipedia-link-de",
             category: "Web Graph",
             paper: row!(3_603_726, 96_865_851, 53.8, 498.0, 434_234, 837),
-            spec: GenSpec::Web { n: 72_000, host_size: 20, intra_p: 0.5, m_backbone: 1_000_000 },
+            spec: GenSpec::Web {
+                n: 72_000,
+                host_size: 20,
+                intra_p: 0.5,
+                m_backbone: 1_000_000,
+            },
             core_boost: 120,
             seed: 0xA011,
         },
@@ -199,7 +276,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "hollywood-2009",
             category: "Collaboration",
             paper: row!(1_139_905, 113_891_327, 199.8, 272.0, 11_467, 2_208),
-            spec: GenSpec::Collab { n: 23_000, groups: 4_000, min_size: 10, max_size: 40 },
+            spec: GenSpec::Collab {
+                n: 23_000,
+                groups: 4_000,
+                min_size: 10,
+                max_size: 40,
+            },
             core_boost: 220,
             seed: 0xA012,
         },
@@ -207,7 +289,10 @@ pub fn registry() -> Vec<Dataset> {
             name: "com-Orkut",
             category: "Social Network",
             paper: row!(3_072_441, 117_185_083, 76.3, 155.0, 33_313, 253),
-            spec: GenSpec::Rmat { scale: 16, m: 2_300_000 },
+            spec: GenSpec::Rmat {
+                scale: 16,
+                m: 2_300_000,
+            },
             core_boost: 64,
             seed: 0xA013,
         },
@@ -215,7 +300,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "trackers",
             category: "Web Graph",
             paper: row!(27_665_730, 140_613_762, 10.2, 2_774.0, 11_571_953, 438),
-            spec: GenSpec::Hubs { n: 280_000, m_background: 1_200_000, hubs: 3, hub_fraction: 0.2 },
+            spec: GenSpec::Hubs {
+                n: 280_000,
+                m_background: 1_200_000,
+                hubs: 3,
+                hub_fraction: 0.2,
+            },
             core_boost: 60,
             seed: 0xA014,
         },
@@ -223,7 +313,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "indochina-2004",
             category: "Web Graph",
             paper: row!(7_414_866, 194_109_311, 52.4, 391.0, 256_425, 6_869),
-            spec: GenSpec::Web { n: 74_000, host_size: 26, intra_p: 0.75, m_backbone: 800_000 },
+            spec: GenSpec::Web {
+                n: 74_000,
+                host_size: 26,
+                intra_p: 0.75,
+                m_backbone: 800_000,
+            },
             core_boost: 400,
             seed: 0xA015,
         },
@@ -231,7 +326,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "uk-2002",
             category: "Web Graph",
             paper: row!(18_520_486, 298_113_762, 32.2, 145.0, 194_955, 943),
-            spec: GenSpec::Web { n: 92_000, host_size: 18, intra_p: 0.6, m_backbone: 900_000 },
+            spec: GenSpec::Web {
+                n: 92_000,
+                host_size: 18,
+                intra_p: 0.6,
+                m_backbone: 900_000,
+            },
             core_boost: 150,
             seed: 0xA016,
         },
@@ -239,7 +339,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "arabic-2005",
             category: "Web Graph",
             paper: row!(22_744_080, 639_999_458, 56.3, 555.0, 575_628, 3_247),
-            spec: GenSpec::Web { n: 57_000, host_size: 24, intra_p: 0.7, m_backbone: 900_000 },
+            spec: GenSpec::Web {
+                n: 57_000,
+                host_size: 24,
+                intra_p: 0.7,
+                m_backbone: 900_000,
+            },
             core_boost: 280,
             seed: 0xA017,
         },
@@ -247,7 +352,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "uk-2005",
             category: "Web Graph",
             paper: row!(39_459_925, 936_364_282, 47.5, 1_536.0, 1_776_858, 588),
-            spec: GenSpec::Web { n: 99_000, host_size: 22, intra_p: 0.6, m_backbone: 1_400_000 },
+            spec: GenSpec::Web {
+                n: 99_000,
+                host_size: 22,
+                intra_p: 0.6,
+                m_backbone: 1_400_000,
+            },
             core_boost: 110,
             seed: 0xA018,
         },
@@ -255,7 +365,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "webbase-2001",
             category: "Web Graph",
             paper: row!(118_142_155, 1_019_903_190, 17.3, 76.0, 263_176, 1_506),
-            spec: GenSpec::Web { n: 295_000, host_size: 9, intra_p: 0.55, m_backbone: 1_500_000 },
+            spec: GenSpec::Web {
+                n: 295_000,
+                host_size: 9,
+                intra_p: 0.55,
+                m_backbone: 1_500_000,
+            },
             core_boost: 220,
             seed: 0xA019,
         },
@@ -263,7 +378,12 @@ pub fn registry() -> Vec<Dataset> {
             name: "it-2004",
             category: "Web Graph",
             paper: row!(41_291_594, 1_150_725_436, 55.7, 883.0, 1_326_744, 3_224),
-            spec: GenSpec::Web { n: 103_000, host_size: 25, intra_p: 0.7, m_backbone: 1_600_000 },
+            spec: GenSpec::Web {
+                n: 103_000,
+                host_size: 25,
+                intra_p: 0.7,
+                m_backbone: 1_600_000,
+            },
             core_boost: 290,
             seed: 0xA020,
         },
@@ -272,7 +392,9 @@ pub fn registry() -> Vec<Dataset> {
 
 /// Looks up a dataset by its Table I name (case-insensitive).
 pub fn by_name(name: &str) -> Option<Dataset> {
-    registry().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    registry()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 /// A small fast subset of the registry for smoke tests and examples
@@ -280,13 +402,27 @@ pub fn by_name(name: &str) -> Option<Dataset> {
 pub fn smoke_subset() -> Vec<Dataset> {
     let shrink = |mut d: Dataset| {
         d.spec = match d.spec {
-            GenSpec::Ba { m_lo, m_hi, .. } => GenSpec::Ba { n: 4_000, m_lo, m_hi },
-            GenSpec::Hubs { hubs, hub_fraction, .. } => {
-                GenSpec::Hubs { n: 8_000, m_background: 15_000, hubs, hub_fraction }
-            }
-            GenSpec::Web { host_size, intra_p, .. } => {
-                GenSpec::Web { n: 6_000, host_size, intra_p, m_backbone: 15_000 }
-            }
+            GenSpec::Ba { m_lo, m_hi, .. } => GenSpec::Ba {
+                n: 4_000,
+                m_lo,
+                m_hi,
+            },
+            GenSpec::Hubs {
+                hubs, hub_fraction, ..
+            } => GenSpec::Hubs {
+                n: 8_000,
+                m_background: 15_000,
+                hubs,
+                hub_fraction,
+            },
+            GenSpec::Web {
+                host_size, intra_p, ..
+            } => GenSpec::Web {
+                n: 6_000,
+                host_size,
+                intra_p,
+                m_backbone: 15_000,
+            },
             other => other,
         };
         d.core_boost = d.core_boost.min(20);
@@ -337,7 +473,12 @@ mod tests {
         // Generate a shrunken trackers to verify the defining property
         // without paying full-scale generation in unit tests.
         let d = Dataset {
-            spec: GenSpec::Hubs { n: 20_000, m_background: 80_000, hubs: 3, hub_fraction: 0.2 },
+            spec: GenSpec::Hubs {
+                n: 20_000,
+                m_background: 80_000,
+                hubs: 3,
+                hub_fraction: 0.2,
+            },
             core_boost: 20,
             ..by_name("trackers").unwrap()
         };

@@ -106,7 +106,10 @@ mod tests {
         let g = plant_clique(&g, 12, 8);
         // Count vertices with degree >= 11; at least the 12 members qualify.
         let hot = (0..g.num_vertices()).filter(|&v| g.degree(v) >= 11).count();
-        assert!(hot >= 12, "expected >=12 vertices of degree >=11, got {hot}");
+        assert!(
+            hot >= 12,
+            "expected >=12 vertices of degree >=11, got {hot}"
+        );
     }
 
     #[test]

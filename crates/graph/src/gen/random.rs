@@ -47,12 +47,20 @@ impl RmatParams {
     /// The Graph500 parameters (a=0.57, b=0.19, c=0.19): heavy skew typical of
     /// social networks and web crawls.
     pub fn graph500() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// Milder skew (a=0.45), for co-purchasing / citation style networks.
     pub fn mild() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+        }
     }
 }
 
@@ -105,11 +113,7 @@ pub fn barabasi_albert(n: u32, m_per_node: u32, seed: u64) -> Csr {
 /// upward, populating every k-shell like real co-purchase/citation networks
 /// do (plain BA leaves all shells below `m` empty, which concentrates the
 /// entire peeling into one round).
-pub fn preferential_attachment(
-    n: u32,
-    m_range: std::ops::RangeInclusive<u32>,
-    seed: u64,
-) -> Csr {
+pub fn preferential_attachment(n: u32, m_range: std::ops::RangeInclusive<u32>, seed: u64) -> Csr {
     let (m_lo, m_hi) = (*m_range.start(), *m_range.end());
     assert!(m_lo >= 1);
     assert!(n > m_hi, "need n > max attachment count");

@@ -50,7 +50,12 @@ mod tests {
         let s = GraphStats::compute(&g);
         // hubs reach ~1000 degree, background ~3
         assert!(s.max_degree > 800, "d_max={}", s.max_degree);
-        assert!(s.degree_std > 5.0 * s.avg_degree, "std={} avg={}", s.degree_std, s.avg_degree);
+        assert!(
+            s.degree_std > 5.0 * s.avg_degree,
+            "std={} avg={}",
+            s.degree_std,
+            s.avg_degree
+        );
         // the max-degree vertex is one of the hubs
         let argmax = (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap();
         assert!(argmax < 3);
@@ -58,6 +63,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(power_law_hubs(100, 200, 2, 0.3, 4), power_law_hubs(100, 200, 2, 0.3, 4));
+        assert_eq!(
+            power_law_hubs(100, 200, 2, 0.3, 4),
+            power_law_hubs(100, 200, 2, 0.3, 4)
+        );
     }
 }

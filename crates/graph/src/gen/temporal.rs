@@ -153,10 +153,17 @@ pub fn generate_corpus(params: &CorpusParams, seed: u64) -> Corpus {
             for &c in &citations {
                 paper_pool.push(c);
             }
-            papers.push(Paper { year, authors, citations });
+            papers.push(Paper {
+                year,
+                authors,
+                citations,
+            });
         }
     }
-    Corpus { papers, num_authors }
+    Corpus {
+        papers,
+        num_authors,
+    }
 }
 
 impl Corpus {

@@ -48,7 +48,9 @@ pub fn web_crawl(n: u32, host_size: u32, intra_p: f64, m_backbone: u64, seed: u6
         let r1: f64 = rng.gen();
         let r2: f64 = rng.gen();
         let u = ((r1 * r1) * n as f64) as u32 % n;
-        let v = rng.gen_range(0..n).min(((r2 * r2 * r2) * n as f64) as u32 % n);
+        let v = rng
+            .gen_range(0..n)
+            .min(((r2 * r2 * r2) * n as f64) as u32 % n);
         if u != v {
             b.add_edge(u, v);
         }
@@ -71,7 +73,13 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(web_crawl(500, 8, 0.5, 500, 2), web_crawl(500, 8, 0.5, 500, 2));
-        assert_ne!(web_crawl(500, 8, 0.5, 500, 2), web_crawl(500, 8, 0.5, 500, 3));
+        assert_eq!(
+            web_crawl(500, 8, 0.5, 500, 2),
+            web_crawl(500, 8, 0.5, 500, 2)
+        );
+        assert_ne!(
+            web_crawl(500, 8, 0.5, 500, 2),
+            web_crawl(500, 8, 0.5, 500, 3)
+        );
     }
 }

@@ -56,10 +56,18 @@ pub fn parse_edge_list<R: Read>(reader: R) -> Result<(Csr, Recoder), IoError> {
         let mut it = t.split_whitespace();
         let (a, b) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => (a, b),
-            _ => return Err(IoError::Parse { line_no: idx + 1, line }),
+            _ => {
+                return Err(IoError::Parse {
+                    line_no: idx + 1,
+                    line,
+                })
+            }
         };
         let (Ok(u), Ok(v)) = (a.parse::<u64>(), b.parse::<u64>()) else {
-            return Err(IoError::Parse { line_no: idx + 1, line });
+            return Err(IoError::Parse {
+                line_no: idx + 1,
+                line,
+            });
         };
         let u = recoder.encode(u);
         let v = recoder.encode(v);
@@ -86,11 +94,17 @@ pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
     // Header line.
     let (_, header) = lines
         .next()
-        .ok_or_else(|| IoError::Parse { line_no: 1, line: "<empty file>".into() })
+        .ok_or_else(|| IoError::Parse {
+            line_no: 1,
+            line: "<empty file>".into(),
+        })
         .and_then(|(i, l)| l.map(|l| (i, l)).map_err(IoError::Io))?;
     let h = header.to_ascii_lowercase();
     if !h.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(IoError::Parse { line_no: 1, line: header });
+        return Err(IoError::Parse {
+            line_no: 1,
+            line: header,
+        });
     }
 
     // Dimension line (first non-comment).
@@ -107,10 +121,16 @@ pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
         let mut it = t.split_whitespace();
         if !dims_seen {
             let (Some(r), Some(c)) = (it.next(), it.next()) else {
-                return Err(IoError::Parse { line_no: idx + 1, line });
+                return Err(IoError::Parse {
+                    line_no: idx + 1,
+                    line,
+                });
             };
             let (Ok(r), Ok(c)) = (r.parse::<u64>(), c.parse::<u64>()) else {
-                return Err(IoError::Parse { line_no: idx + 1, line });
+                return Err(IoError::Parse {
+                    line_no: idx + 1,
+                    line,
+                });
             };
             n_rows = r;
             n_cols = c;
@@ -118,18 +138,30 @@ pub fn parse_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
             continue;
         }
         let (Some(a), Some(b)) = (it.next(), it.next()) else {
-            return Err(IoError::Parse { line_no: idx + 1, line });
+            return Err(IoError::Parse {
+                line_no: idx + 1,
+                line,
+            });
         };
         let (Ok(u), Ok(v)) = (a.parse::<u64>(), b.parse::<u64>()) else {
-            return Err(IoError::Parse { line_no: idx + 1, line });
+            return Err(IoError::Parse {
+                line_no: idx + 1,
+                line,
+            });
         };
         if u == 0 || v == 0 || u > n_rows || v > n_cols {
-            return Err(IoError::Parse { line_no: idx + 1, line });
+            return Err(IoError::Parse {
+                line_no: idx + 1,
+                line,
+            });
         }
         builder.add_edge((u - 1) as u32, (v - 1) as u32);
     }
     if !dims_seen {
-        return Err(IoError::Parse { line_no: 2, line: "<missing dimension line>".into() });
+        return Err(IoError::Parse {
+            line_no: 2,
+            line: "<missing dimension line>".into(),
+        });
     }
     let mut b = GraphBuilder::with_num_vertices(n_rows.max(n_cols) as u32);
     b.extend_edges(builder.build().edges());
@@ -145,7 +177,12 @@ pub fn load_matrix_market<P: AsRef<Path>>(path: P) -> Result<Csr, IoError> {
 /// Writes a graph as a SNAP-style edge list (each undirected edge once,
 /// `u < v`, internal IDs).
 pub fn write_edge_list<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# Undirected graph: {} nodes, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# Undirected graph: {} nodes, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;
     }
@@ -258,7 +295,10 @@ mod tests {
         assert!(parse_matrix_market(bad_idx.as_bytes()).is_err());
         let zero_idx = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
         assert!(parse_matrix_market(zero_idx.as_bytes()).is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate pattern general\n".as_bytes()).is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n".as_bytes()
+        )
+        .is_err());
     }
 
     #[test]

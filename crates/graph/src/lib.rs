@@ -70,7 +70,7 @@ pub fn fig1_graph() -> Csr {
     b.add_edge(6, 7);
     b.add_edge(7, 8);
     b.add_edge(8, 1); // ring re-enters the clique region
-    // 1-shell pendants
+                      // 1-shell pendants
     b.add_edge(9, 2);
     b.add_edge(10, 7);
     b.add_edge(11, 5);

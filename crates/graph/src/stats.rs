@@ -25,7 +25,13 @@ impl GraphStats {
         let n = g.num_vertices() as u64;
         let m = g.num_edges();
         if n == 0 {
-            return GraphStats { num_vertices: 0, num_edges: 0, avg_degree: 0.0, degree_std: 0.0, max_degree: 0 };
+            return GraphStats {
+                num_vertices: 0,
+                num_edges: 0,
+                avg_degree: 0.0,
+                degree_std: 0.0,
+                max_degree: 0,
+            };
         }
         let mean = 2.0 * m as f64 / n as f64;
         let mut var_acc = 0.0f64;

@@ -15,8 +15,8 @@
 //! instead of tracking a removal count.
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_graph::Csr;
 use kcore_gpusim::{BlockCtx, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// Runs GSWITCH-style peeling for rounds `k = 0 ..= k_max_hint`.
@@ -32,7 +32,11 @@ pub fn peel(
 ) -> Result<SystemRun, SimError> {
     let mut ctx = opts.context();
     let (core, iterations) = peel_in(&mut ctx, g, k_max_hint, costs)?;
-    Ok(SystemRun { core, iterations, report: ctx.report() })
+    Ok(SystemRun {
+        core,
+        iterations,
+        report: ctx.report(),
+    })
 }
 
 /// [`peel`] against a caller-owned context, so peak memory and partial time
@@ -47,6 +51,7 @@ pub fn peel_in(
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
+    ctx.set_phase("Setup");
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
     let d_offsets = ctx.htod("gswitch.offset", &offsets32)?;
     let d_neighbors = ctx.htod("gswitch.neighbors", g.neighbor_array())?;
@@ -66,13 +71,22 @@ pub fn peel_in(
         loop {
             iterations += 1;
             // reset length
-            ctx.launch("gswitch_reset", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
-                blk.gwrite(&blk.device.buffer(d_len)[0], 0);
-                Ok(())
-            })?;
+            ctx.set_phase("Reset");
+            ctx.launch(
+                "gswitch_reset",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    blk.gwrite(&blk.device.buffer(d_len)[0], 0);
+                    Ok(())
+                },
+            )?;
             // Dense fused iteration: sweep all vertices; those with deg == k
             // are processed in place (bitmap mode — the autotuner picks
             // dense here because shell candidates are discovered by sweep).
+            ctx.set_phase("Fused");
             ctx.launch("gswitch_fused", launch, |blk| {
                 let d = blk.device;
                 let offsets = d.buffer(d_offsets);
@@ -123,6 +137,7 @@ pub fn peel_in(
                 Ok(())
             })?;
             ctx.add_overhead_s(costs.gswitch_subiter_s)?;
+            ctx.set_phase("Sync");
             let processed = ctx.dtoh_word(d_len, 0);
             if processed == 0 {
                 break;
@@ -130,6 +145,7 @@ pub fn peel_in(
         }
         let _ = k;
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(d_deg);
     let _ = (d_flist, d_fbitmap, d_eaux);
     Ok((core, iterations))
@@ -149,7 +165,13 @@ mod tests {
     fn fig1_with_exact_hint() {
         let g = fig1_graph();
         let e = expect(&g);
-        let run = peel(&g, kmax(&e), &SimOptions::default(), &FrameworkCosts::default()).unwrap();
+        let run = peel(
+            &g,
+            kmax(&e),
+            &SimOptions::default(),
+            &FrameworkCosts::default(),
+        )
+        .unwrap();
         assert_eq!(run.core, e);
     }
 
@@ -158,7 +180,13 @@ mod tests {
         for seed in 0..3 {
             let g = gen::erdos_renyi_gnm(500, 2_500, seed);
             let e = expect(&g);
-            let run = peel(&g, kmax(&e), &SimOptions::default(), &FrameworkCosts::default()).unwrap();
+            let run = peel(
+                &g,
+                kmax(&e),
+                &SimOptions::default(),
+                &FrameworkCosts::default(),
+            )
+            .unwrap();
             assert_eq!(run.core, e, "seed {seed}");
         }
     }
@@ -189,7 +217,13 @@ mod tests {
         // termination sweep, per non-empty round.
         let g = gen::path(100);
         let e = expect(&g);
-        let run = peel(&g, kmax(&e), &SimOptions::default(), &FrameworkCosts::default()).unwrap();
+        let run = peel(
+            &g,
+            kmax(&e),
+            &SimOptions::default(),
+            &FrameworkCosts::default(),
+        )
+        .unwrap();
         assert_eq!(run.core, e);
         assert!(run.iterations >= 3, "got {}", run.iterations);
     }

@@ -15,24 +15,33 @@
 //! (Table V).
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_graph::Csr;
 use kcore_gpusim::{BlockCtx, GpuContext, KernelError, LaunchConfig, SimError, SimOptions};
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// Runs Gunrock-style peeling to completion.
 pub fn peel(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<SystemRun, SimError> {
     let mut ctx = opts.context();
     let (core, iterations) = peel_in(&mut ctx, g, costs)?;
-    Ok(SystemRun { core, iterations, report: ctx.report() })
+    Ok(SystemRun {
+        core,
+        iterations,
+        report: ctx.report(),
+    })
 }
 
 /// [`peel`] against a caller-owned context, so peak memory and partial time
 /// remain observable after an OOM or time-limit failure.
-pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+pub fn peel_in(
+    ctx: &mut GpuContext,
+    g: &Csr,
+    costs: &FrameworkCosts,
+) -> Result<(Vec<u32>, u64), SimError> {
     let n = g.num_vertices() as usize;
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
+    ctx.set_phase("Setup");
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
     let d_offsets = ctx.htod("gunrock.offset", &offsets32)?;
     let d_neighbors = ctx.htod("gunrock.neighbors", g.neighbor_array())?;
@@ -56,6 +65,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
     let mut iterations = 0u64;
     while removed < n as u64 {
         // Initial filter over all vertices: deg == k joins the frontier.
+        ctx.set_phase("Filter");
         ctx.launch("gunrock_filter_init", launch, |blk| {
             let d = blk.device;
             let deg = d.buffer(d_deg);
@@ -75,6 +85,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             }
             Ok(())
         })?;
+        ctx.set_phase("Sync");
         let mut flen = ctx.dtoh_word(d_len, 0) as u64;
         ctx.add_overhead_s(costs.gunrock_subiter_s)?;
 
@@ -84,12 +95,21 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             removed += flen;
             let (f_cur, f_nxt) = (bufs[0], bufs[1]);
             // reset output length
-            ctx.launch("gunrock_reset", LaunchConfig { blocks: 1, threads_per_block: 32 }, |blk| {
-                blk.gwrite(&blk.device.buffer(d_len)[0], 0);
-                Ok(())
-            })?;
+            ctx.set_phase("Reset");
+            ctx.launch(
+                "gunrock_reset",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    blk.gwrite(&blk.device.buffer(d_len)[0], 0);
+                    Ok(())
+                },
+            )?;
             // Advance: visit the arcs of every frontier vertex, load-balanced.
             let flen_now = flen as usize;
+            ctx.set_phase("Advance");
             ctx.launch("gunrock_advance", launch, |blk| {
                 let d = blk.device;
                 let offsets = d.buffer(d_offsets);
@@ -136,14 +156,18 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
                 }
                 Ok(())
             })?;
+            ctx.set_phase("Sync");
             let out_len = ctx.dtoh_word(d_len, 0) as u64;
             // Filter: compaction/validation pass over the output frontier.
             if out_len > 0 {
+                ctx.set_phase("Filter");
                 ctx.launch("gunrock_filter", launch, |blk| {
                     let blocks = blk.cfg.blocks as usize;
                     let b = blk.block_idx as usize;
-                    let (lo, hi) =
-                        (b * out_len as usize / blocks, (b + 1) * out_len as usize / blocks);
+                    let (lo, hi) = (
+                        b * out_len as usize / blocks,
+                        (b + 1) * out_len as usize / blocks,
+                    );
                     blk.charge_tx(2 * BlockCtx::coalesced_tx((hi - lo) as u64)); // read + rewrite
                     blk.charge_instr(((hi - lo) as u64) * 3 / 32 + 1);
                     Ok(())
@@ -155,9 +179,12 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
         }
         k += 1;
         if k as usize > n + 1 {
-            return Err(SimError::Kernel(KernelError::Other("gunrock peel did not converge".into())));
+            return Err(SimError::Kernel(KernelError::Other(
+                "gunrock peel did not converge".into(),
+            )));
         }
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(d_deg);
     let _ = (d_csc, d_escratch, d_eflags); // retained for the runtime's footprint
     Ok((core, iterations))
@@ -204,8 +231,12 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let run = peel(&kcore_graph::Csr::empty(0), &SimOptions::default(), &FrameworkCosts::default())
-            .unwrap();
+        let run = peel(
+            &kcore_graph::Csr::empty(0),
+            &SimOptions::default(),
+            &FrameworkCosts::default(),
+        )
+        .unwrap();
         assert!(run.core.is_empty());
     }
 }

@@ -17,8 +17,8 @@
 //! (edge-centric peeling with an added outer round loop).
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_graph::Csr;
 use kcore_gpusim::{BlockCtx, BufferId, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// Number of vertices a Medusa "block" owns per launch (vertex-partitioned).
@@ -30,7 +30,11 @@ fn block_range(blk: &BlockCtx<'_>, n: usize) -> (usize, usize) {
 
 /// Charges the thread-per-vertex divergence model: each 32-vertex group
 /// costs `max(degree in group) * cycles_per_msg` warp instructions.
-fn charge_vertex_groups(blk: &mut BlockCtx<'_>, degs: impl Iterator<Item = u32>, cycles_per_msg: u64) {
+fn charge_vertex_groups(
+    blk: &mut BlockCtx<'_>,
+    degs: impl Iterator<Item = u32>,
+    cycles_per_msg: u64,
+) {
     let mut group_max = 0u32;
     let mut in_group = 0u32;
     for d in degs {
@@ -63,6 +67,7 @@ struct MedusaDev {
 
 impl MedusaDev {
     fn load(ctx: &mut GpuContext, g: &Csr) -> Result<Self, SimError> {
+        ctx.set_phase("Setup");
         let n = g.num_vertices() as usize;
         let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
         let d_offsets = ctx.htod("medusa.offset", &offsets32)?;
@@ -85,16 +90,32 @@ impl MedusaDev {
         let _d_esrc = ctx.alloc("medusa.edge_src", g.num_arcs() as usize)?;
         let _d_edst = ctx.alloc("medusa.edge_dst", g.num_arcs() as usize)?;
         let d_flag = ctx.alloc("medusa.flag", 1)?;
-        Ok(MedusaDev { n, d_offsets, d_neighbors, d_ridx, d_msg, d_flag, launch: LaunchConfig::paper() })
+        Ok(MedusaDev {
+            n,
+            d_offsets,
+            d_neighbors,
+            d_ridx,
+            d_msg,
+            d_flag,
+            launch: LaunchConfig::paper(),
+        })
     }
 
     /// Host-side flag reset, charged as a tiny memset kernel.
     fn reset_flag(&self, ctx: &mut GpuContext) -> Result<(), SimError> {
         let flag = self.d_flag;
-        ctx.launch("medusa_memset", LaunchConfig { blocks: 1, threads_per_block: 32 }, move |blk| {
-            blk.gwrite(&blk.device.buffer(flag)[0], 0);
-            Ok(())
-        })
+        ctx.set_phase("Memset");
+        ctx.launch(
+            "medusa_memset",
+            LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
+            move |blk| {
+                blk.gwrite(&blk.device.buffer(flag)[0], 0);
+                Ok(())
+            },
+        )
     }
 }
 
@@ -104,12 +125,20 @@ impl MedusaDev {
 pub fn mpm(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<SystemRun, SimError> {
     let mut ctx = opts.context();
     let (core, iterations) = mpm_in(&mut ctx, g, costs)?;
-    Ok(SystemRun { core, iterations, report: ctx.report() })
+    Ok(SystemRun {
+        core,
+        iterations,
+        report: ctx.report(),
+    })
 }
 
 /// [`mpm`] against a caller-owned context, so peak memory and partial time
 /// remain observable after an OOM or time-limit failure.
-pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+pub fn mpm_in(
+    ctx: &mut GpuContext,
+    g: &Csr,
+    costs: &FrameworkCosts,
+) -> Result<(Vec<u32>, u64), SimError> {
     let n = g.num_vertices() as usize;
     if n == 0 {
         return Ok((Vec::new(), 0));
@@ -126,6 +155,7 @@ pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(
         let (cur, next) = (bufs[0], bufs[1]);
 
         // SendMessage: a(v) broadcast to all neighbors through ridx.
+        ctx.set_phase("Send");
         ctx.launch("medusa_send", dev.launch, |blk| {
             let d = blk.device;
             let (lo, hi) = block_range(blk, dev.n);
@@ -157,6 +187,7 @@ pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(
         })?;
 
         // CombineMessage (h-index) + UpdateVertex.
+        ctx.set_phase("Update");
         ctx.launch("medusa_update", dev.launch, |blk| {
             let d = blk.device;
             let (lo, hi) = block_range(blk, dev.n);
@@ -194,12 +225,14 @@ pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(
             Ok(())
         })?;
 
+        ctx.set_phase("Sync");
         let changed = ctx.dtoh_word(dev.d_flag, 0);
         bufs.swap(0, 1);
         if changed == 0 {
             break;
         }
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(bufs[0]);
     Ok((core, iterations))
 }
@@ -210,11 +243,19 @@ pub fn mpm_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(
 pub fn peel(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<SystemRun, SimError> {
     let mut ctx = opts.context();
     let (core, iterations) = peel_in(&mut ctx, g, costs)?;
-    Ok(SystemRun { core, iterations, report: ctx.report() })
+    Ok(SystemRun {
+        core,
+        iterations,
+        report: ctx.report(),
+    })
 }
 
 /// [`peel`] against a caller-owned context (see [`mpm_in`]).
-pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+pub fn peel_in(
+    ctx: &mut GpuContext,
+    g: &Csr,
+    costs: &FrameworkCosts,
+) -> Result<(Vec<u32>, u64), SimError> {
     let n = g.num_vertices() as usize;
     if n == 0 {
         return Ok((Vec::new(), 0));
@@ -235,6 +276,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
 
             // SendMessage: k-shell members mark themselves deleted and send
             // 1; everyone else sends 0. All m messages are materialized.
+            ctx.set_phase("Send");
             ctx.launch("medusa_send", dev.launch, |blk| {
                 let d = blk.device;
                 let (lo, hi) = block_range(blk, dev.n);
@@ -278,6 +320,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             })?;
 
             // CombineMessage (sum) + UpdateVertex (degree decrement).
+            ctx.set_phase("Update");
             ctx.launch("medusa_update", dev.launch, |blk| {
                 let d = blk.device;
                 let (lo, hi) = block_range(blk, dev.n);
@@ -311,6 +354,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
                 Ok(())
             })?;
 
+            ctx.set_phase("Sync");
             let deleted_now = ctx.dtoh_word(dev.d_flag, 0) as u64;
             total_deleted += deleted_now;
             if deleted_now == 0 {
@@ -324,6 +368,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             )));
         }
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(d_core);
     Ok((core, iterations))
 }
@@ -377,8 +422,14 @@ mod tests {
         for seed in 0..3 {
             let g = gen::erdos_renyi_gnm(400, 1_600, seed);
             let e = expect(&g);
-            assert_eq!(mpm(&g, &opts(), &FrameworkCosts::default()).unwrap().core, e);
-            assert_eq!(peel(&g, &opts(), &FrameworkCosts::default()).unwrap().core, e);
+            assert_eq!(
+                mpm(&g, &opts(), &FrameworkCosts::default()).unwrap().core,
+                e
+            );
+            assert_eq!(
+                peel(&g, &opts(), &FrameworkCosts::default()).unwrap().core,
+                e
+            );
         }
     }
 
@@ -402,14 +453,23 @@ mod tests {
     #[test]
     fn oom_on_tiny_device() {
         let g = gen::erdos_renyi_gnm(1_000, 4_000, 1);
-        let small = SimOptions { device_capacity_bytes: 1 << 12, ..SimOptions::default() };
-        assert!(matches!(mpm(&g, &small, &FrameworkCosts::default()), Err(SimError::Oom(_))));
+        let small = SimOptions {
+            device_capacity_bytes: 1 << 12,
+            ..SimOptions::default()
+        };
+        assert!(matches!(
+            mpm(&g, &small, &FrameworkCosts::default()),
+            Err(SimError::Oom(_))
+        ));
     }
 
     #[test]
     fn time_limit_trips() {
         let g = gen::erdos_renyi_gnm(2_000, 8_000, 2);
-        let o = SimOptions { time_limit_ms: Some(1e-6), ..SimOptions::default() };
+        let o = SimOptions {
+            time_limit_ms: Some(1e-6),
+            ..SimOptions::default()
+        };
         assert!(matches!(
             peel(&g, &o, &FrameworkCosts::default()),
             Err(SimError::TimeLimit { .. })

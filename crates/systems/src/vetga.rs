@@ -16,8 +16,8 @@
 //! loader.
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_graph::Csr;
 use kcore_gpusim::{BlockCtx, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
 /// VETGA result: a [`SystemRun`] plus the modelled loading time.
@@ -31,7 +31,13 @@ pub struct VetgaRun {
 }
 
 /// Charges one vector primitive: dispatch overhead + a streaming pass.
-fn vec_pass(ctx: &mut GpuContext, name: &'static str, words: u64, dispatch_s: f64) -> Result<(), SimError> {
+fn vec_pass(
+    ctx: &mut GpuContext,
+    name: &'static str,
+    words: u64,
+    dispatch_s: f64,
+) -> Result<(), SimError> {
+    ctx.set_phase("Primitive");
     ctx.add_overhead_s(dispatch_s)?;
     ctx.launch(name, LaunchConfig::paper(), move |blk| {
         let blocks = blk.cfg.blocks as u64;
@@ -47,7 +53,14 @@ pub fn peel(g: &Csr, opts: &SimOptions, costs: &FrameworkCosts) -> Result<VetgaR
     let mut ctx = opts.context();
     let load_time_ms = load_time_ms(g, costs);
     let (core, iterations) = peel_in(&mut ctx, g, costs)?;
-    Ok(VetgaRun { run: SystemRun { core, iterations, report: ctx.report() }, load_time_ms })
+    Ok(VetgaRun {
+        run: SystemRun {
+            core,
+            iterations,
+            report: ctx.report(),
+        },
+        load_time_ms,
+    })
 }
 
 /// Modelled Python-side loading time for `g`, ms.
@@ -57,7 +70,11 @@ pub fn load_time_ms(g: &Csr, costs: &FrameworkCosts) -> f64 {
 
 /// [`peel`] against a caller-owned context, so peak memory and partial time
 /// remain observable after an OOM or time-limit failure.
-pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<(Vec<u32>, u64), SimError> {
+pub fn peel_in(
+    ctx: &mut GpuContext,
+    g: &Csr,
+    costs: &FrameworkCosts,
+) -> Result<(Vec<u32>, u64), SimError> {
     let n = g.num_vertices() as usize;
     let m_arcs = g.num_arcs() as usize;
     if n == 0 {
@@ -66,9 +83,13 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
 
     // Tensors: src/dst per arc (COO, what torch scatter ops consume), plus
     // degree / alive / frontier / contribution vectors.
+    ctx.set_phase("Setup");
     let mut src = vec![0u32; m_arcs];
     for v in 0..g.num_vertices() {
-        let (s, e) = (g.offsets()[v as usize] as usize, g.offsets()[v as usize + 1] as usize);
+        let (s, e) = (
+            g.offsets()[v as usize] as usize,
+            g.offsets()[v as usize + 1] as usize,
+        );
         src[s..e].fill(v);
     }
     let d_src = ctx.htod("vetga.src", &src)?;
@@ -104,6 +125,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             }
             // 2) any(frontier)                            [n-pass reduce + sync]
             vec_pass(ctx, "vetga_any", nn, costs.vetga_dispatch_s)?;
+            ctx.set_phase("Sync");
             ctx.dtoh_word(d_frontier, 0); // host sync for the Python `if`
             if any == 0 {
                 break;
@@ -127,7 +149,12 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             // 5) contrib = gather(frontier, src)          [m-pass gather]
             vec_pass(ctx, "vetga_gather", 2 * mm, costs.vetga_dispatch_s)?;
             // 6) delta = scatter_add(contrib, dst)        [m-pass scatter]
-            vec_pass(ctx, "vetga_scatter_add", 2 * mm + nn, costs.vetga_dispatch_s)?;
+            vec_pass(
+                ctx,
+                "vetga_scatter_add",
+                2 * mm + nn,
+                costs.vetga_dispatch_s,
+            )?;
             // 7) deg = deg - delta                         [n-pass]
             // 8) deg = max(deg, k)  (floor, keeps removed vertices at core)
             vec_pass(ctx, "vetga_sub_clamp", 3 * nn, costs.vetga_dispatch_s)?;
@@ -165,6 +192,7 @@ pub fn peel_in(ctx: &mut GpuContext, g: &Csr, costs: &FrameworkCosts) -> Result<
             )));
         }
     }
+    ctx.set_phase("Result");
     let core = ctx.dtoh(d_core);
     Ok((core, iterations))
 }
@@ -217,6 +245,9 @@ mod tests {
         let g = gen::path(2_000);
         let r = peel(&g, &SimOptions::default(), &FrameworkCosts::default()).unwrap();
         assert_eq!(r.run.core, vec![1; 2_000]);
-        assert!(r.run.iterations > 500, "path cascades one hop per sub-iteration");
+        assert!(
+            r.run.iterations > 500,
+            "path cascades one hop per sub-iteration"
+        );
     }
 }

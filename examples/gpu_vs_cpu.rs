@@ -15,19 +15,30 @@ use std::time::Instant;
 
 fn main() {
     let g = gen::rmat(15, 400_000, gen::RmatParams::graph500(), 31);
-    println!("graph: |V|={} |E|={} d_max={}\n", g.num_vertices(), g.num_edges(), g.max_degree());
+    println!(
+        "graph: |V|={} |E|={} d_max={}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
 
     let truth = cpu::bz::Bz.run(&g);
     let k_max = cpu::k_max(&truth);
-    println!("{:<24} {:>12}  {}", "implementation", "time (ms)", "notes");
+    println!("{:<24} {:>12}  notes", "implementation", "time (ms)");
     println!("{}", "-".repeat(64));
 
     // --- direct GPU kernels (simulated) ---
-    let cfg = PeelConfig { buf_capacity: 65_536, ..PeelConfig::default() };
+    let cfg = PeelConfig {
+        buf_capacity: 65_536,
+        ..PeelConfig::default()
+    };
     let opts = SimOptions::default();
     let run = decompose(&g, &cfg, &opts).expect("gpu");
     assert_eq!(run.core, truth);
-    println!("{:<24} {:>12.2}  simulated P100, {} rounds", "GPU: Ours", run.report.total_ms, run.rounds);
+    println!(
+        "{:<24} {:>12.2}  simulated P100, {} rounds",
+        "GPU: Ours", run.report.total_ms, run.rounds
+    );
 
     // --- GPU systems (simulated) ---
     let costs = FrameworkCosts::default();
@@ -35,22 +46,32 @@ fn main() {
     assert_eq!(r.run.core, truth);
     println!(
         "{:<24} {:>12.2}  + {:.0} ms Python loading",
-        "GPU: VETGA",
-        r.run.report.total_ms,
-        r.load_time_ms
+        "GPU: VETGA", r.run.report.total_ms, r.load_time_ms
     );
     let r = gswitch::peel(&g, k_max, &opts, &costs).expect("gswitch");
     assert_eq!(r.core, truth);
-    println!("{:<24} {:>12.2}  autotuned frontier engine", "GPU: GSwitch", r.report.total_ms);
+    println!(
+        "{:<24} {:>12.2}  autotuned frontier engine",
+        "GPU: GSwitch", r.report.total_ms
+    );
     let r = gunrock::peel(&g, &opts, &costs).expect("gunrock");
     assert_eq!(r.core, truth);
-    println!("{:<24} {:>12.2}  {} sub-iterations", "GPU: Gunrock", r.report.total_ms, r.iterations);
+    println!(
+        "{:<24} {:>12.2}  {} sub-iterations",
+        "GPU: Gunrock", r.report.total_ms, r.iterations
+    );
     let r = medusa::peel(&g, &opts, &costs).expect("medusa peel");
     assert_eq!(r.core, truth);
-    println!("{:<24} {:>12.2}  {} BSP supersteps", "GPU: Medusa-Peel", r.report.total_ms, r.iterations);
+    println!(
+        "{:<24} {:>12.2}  {} BSP supersteps",
+        "GPU: Medusa-Peel", r.report.total_ms, r.iterations
+    );
     let r = medusa::mpm(&g, &opts, &costs).expect("medusa mpm");
     assert_eq!(r.core, truth);
-    println!("{:<24} {:>12.2}  {} h-index sweeps", "GPU: Medusa-MPM", r.report.total_ms, r.iterations);
+    println!(
+        "{:<24} {:>12.2}  {} h-index sweeps",
+        "GPU: Medusa-MPM", r.report.total_ms, r.iterations
+    );
 
     // --- CPU algorithms (real wall-clock on this machine) ---
     let algs: Vec<Box<dyn CoreAlgorithm>> = vec![
@@ -68,7 +89,11 @@ fn main() {
         let core = alg.run(&g);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(core, truth, "{}", alg.name());
-        println!("{:<24} {:>12.2}  host wall-clock", format!("CPU: {}", alg.name()), ms);
+        println!(
+            "{:<24} {:>12.2}  host wall-clock",
+            format!("CPU: {}", alg.name()),
+            ms
+        );
     }
 
     println!(

@@ -18,11 +18,18 @@ fn main() {
     let truth = kcore::cpu::bz::Bz.run(&g);
 
     let opts = SimOptions::default();
-    let peel = PeelConfig { buf_capacity: 32_768, ..PeelConfig::default() };
+    let peel = PeelConfig {
+        buf_capacity: 32_768,
+        ..PeelConfig::default()
+    };
 
     println!("\nGPUs   sim-ms   rounds  sub-rounds  exchanged-KB  total-peak-MB");
     for p in [1usize, 2, 4, 8] {
-        let cfg = MultiGpuConfig { num_gpus: p, peel, ..MultiGpuConfig::default() };
+        let cfg = MultiGpuConfig {
+            num_gpus: p,
+            peel,
+            ..MultiGpuConfig::default()
+        };
         let run = decompose_multi(&g, &cfg, &opts).expect("multi-gpu decompose");
         assert_eq!(run.core, truth, "{p} GPUs must agree with BZ");
         println!(

@@ -23,7 +23,10 @@ fn main() {
     // GPU decomposition (Algorithm 1-3 on the SIMT simulator).
     let run = decompose(&g, &PeelConfig::ours(), &SimOptions::default()).expect("decompose");
     println!("core numbers: {:?}", run.core);
-    println!("k_max = {} (found in {} peeling rounds)", run.k_max, run.rounds);
+    println!(
+        "k_max = {} (found in {} peeling rounds)",
+        run.k_max, run.rounds
+    );
     println!(
         "simulated GPU time: {:.3} ms over {} kernel launches, peak device mem {} B",
         run.report.total_ms, run.report.launches, run.report.peak_mem_bytes
@@ -44,13 +47,19 @@ fn main() {
         .map(|v| sub.degree(v))
         .min()
         .unwrap();
-    println!("2-core has {} vertices, min degree {min_deg} (>= 2 by definition)",
-             mask.iter().filter(|&&m| m).count());
+    println!(
+        "2-core has {} vertices, min degree {min_deg} (>= 2 by definition)",
+        mask.iter().filter(|&&m| m).count()
+    );
 
     // Cross-check against the serial linear-time BZ algorithm.
     assert_eq!(run.core, cpu::bz::Bz.run(&g));
-    let tail_run = decompose(&triangle_with_tail, &PeelConfig::ours(), &SimOptions::default())
-        .expect("decompose");
+    let tail_run = decompose(
+        &triangle_with_tail,
+        &PeelConfig::ours(),
+        &SimOptions::default(),
+    )
+    .expect("decompose");
     assert_eq!(tail_run.core, vec![2, 2, 2, 1]);
     println!("GPU and CPU agree ✓");
 }

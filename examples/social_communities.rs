@@ -25,7 +25,10 @@ fn main() {
         g.max_degree()
     );
 
-    let cfg = PeelConfig { buf_capacity: 65_536, ..PeelConfig::default() };
+    let cfg = PeelConfig {
+        buf_capacity: 65_536,
+        ..PeelConfig::default()
+    };
     let run = decompose(&g, &cfg, &SimOptions::default()).expect("decompose");
     println!(
         "decomposed in {:.2} simulated ms ({} rounds); k_max = {}",
@@ -51,7 +54,10 @@ fn main() {
         .enumerate()
         .filter_map(|(v, &c)| (c == run.k_max).then_some(v as u32))
         .collect();
-    println!("\nmost tightly-knit community (k_max-core): {} members", deepest.len());
+    println!(
+        "\nmost tightly-knit community (k_max-core): {} members",
+        deepest.len()
+    );
 
     // Hierarchical core decomposition: connected dense communities per level.
     let hier = hcd::build_hierarchy(&g, &run.core);

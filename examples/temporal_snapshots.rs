@@ -15,7 +15,11 @@ use kcore::graph::gen::temporal::{generate_corpus, CorpusParams};
 use std::collections::BTreeSet;
 
 fn main() {
-    let params = CorpusParams { start_year: 1990, end_year: 2000, ..CorpusParams::default() };
+    let params = CorpusParams {
+        start_year: 1990,
+        end_year: 2000,
+        ..CorpusParams::default()
+    };
     let corpus = generate_corpus(&params, 11);
     println!(
         "corpus: {} papers, {} authors, {}..{}",
@@ -25,7 +29,10 @@ fn main() {
         params.end_year
     );
 
-    let cfg = PeelConfig { buf_capacity: 65_536, ..PeelConfig::default() };
+    let cfg = PeelConfig {
+        buf_capacity: 65_536,
+        ..PeelConfig::default()
+    };
     let opts = SimOptions::default();
 
     println!("\nyear   |V|      |E|      k_max  |core|  entered  left   sim-ms");

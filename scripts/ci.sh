@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate (see ROADMAP.md): formatting, lints, full test suite.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== ci.sh: all green =="

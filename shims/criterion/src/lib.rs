@@ -1,0 +1,165 @@
+//! Offline shim for `criterion`: runs each benchmark in a fixed
+//! warm-up + timed loop and prints the mean wall time. No statistics,
+//! baselines, or HTML reports. See `shims/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working (std's is canonical).
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(100);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// (total elapsed, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until the budget elapses (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        // Measure.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= MEASURE {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) => {
+            let mean = total.as_secs_f64() / iters as f64;
+            println!("{label:<40} {:>12.3} µs/iter ({iters} iters)", mean * 1e6);
+        }
+        None => println!("{label:<40} (no b.iter call)"),
+    }
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// A named group of benchmarks (a prefix on every label).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; this shim's loop is time-bounded, so
+    /// the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), f);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnOnce(&mut Bencher, &T),
+    {
+        run_one(&format!("{}/{}", self.name, id.into_id()), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,79 @@
+//! Offline shim for `crossbeam`: scoped threads over `std::thread::scope`.
+//! See `shims/README.md`.
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(move |_| ..); .. }).unwrap()`
+//! pattern is supported — spawned closures receive a `&Scope` argument they
+//! may use for nested spawns, and `scope` returns `Err` with the panic
+//! payload of the first panicking child (matching crossbeam's contract
+//! closely enough for callers that `unwrap()`).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Re-exported namespace matching `crossbeam::thread`.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+/// Handle passed to `scope`'s closure and to each spawned child.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` for nested
+    /// spawns (crossbeam's signature); most callers ignore it (`move |_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s)
+        })
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; joins them all before
+/// returning. Returns `Err(payload)` if any child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawns_and_joins() {
+        let n = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let n = &n;
+                s.spawn(move |_| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn propagates_panic_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

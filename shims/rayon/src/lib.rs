@@ -1,0 +1,430 @@
+//! Offline shim for `rayon`: order-preserving chunked data parallelism over
+//! scoped `std::thread`s. See `shims/README.md`.
+//!
+//! Supported surface (exactly what this workspace uses):
+//! * `(range).into_par_iter().map(f).collect::<Vec<_>>()` — **order
+//!   preserving**: element `i` of the output is `f` of element `i` of the
+//!   input regardless of thread count, which is what makes the golden-trace
+//!   determinism tests meaningful.
+//! * `slice.par_iter_mut().enumerate().map(f).reduce(identity, op)` — the
+//!   per-chunk partials are folded **in chunk order**, so `op` need only be
+//!   associative (all uses here are commutative monoids anyway).
+//! * `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` — scopes
+//!   the fan-out width for everything called from `f` on this thread.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::resume_unwind;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+thread_local! {
+    /// 0 = "no pool installed": fall back to the machine's parallelism.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn pool_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n != 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Number of threads parallel operations on this thread will fan out to.
+pub fn current_num_threads() -> usize {
+    pool_threads()
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (this shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 means "use the default" (machine parallelism), as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" is just a configured fan-out width; threads are spawned per
+/// operation.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct PoolGuard {
+    prev: usize,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        POOL_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width installed for the current thread
+    /// (restored on exit, including on panic).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = PoolGuard {
+            prev: POOL_THREADS.with(|c| c.replace(self.num_threads)),
+        };
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Order-preserving parallel map: contiguous chunks, one scoped thread per
+/// chunk, outputs concatenated in chunk order.
+fn pmap<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = pool_threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let outs: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for mut o in outs {
+        out.append(&mut o);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// into_par_iter
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {
+        $(impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        })*
+    };
+}
+
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Owned parallel iterator (items are materialized up front).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        pmap(self.items, &|t| f(t));
+    }
+}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        pmap(self.items, &self.f).into_iter().collect()
+    }
+
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        pmap(self.items, &self.f).into_iter().fold(identity(), op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_iter (shared references)
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_iter_mut
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Elem: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Elem>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Elem = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Elem = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        EnumerateMut { slice: self.slice }
+            .map(|(_, t)| f(t))
+            .reduce(|| (), |(), ()| ());
+    }
+}
+
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    pub fn map<R, F>(self, f: F) -> MapEnumerateMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        MapEnumerateMut {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct MapEnumerateMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> MapEnumerateMut<'a, T, F> {
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let threads = pool_threads();
+        let len = self.slice.len();
+        let f = &self.f;
+        if threads <= 1 || len <= 1 {
+            let mut acc = identity();
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                acc = op(acc, f((i, item)));
+            }
+            return acc;
+        }
+        let chunk = len.div_ceil(threads);
+        let id_ref = &identity;
+        let op_ref = &op;
+        let partials: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, ch)| {
+                    s.spawn(move || {
+                        let mut acc = id_ref();
+                        for (j, item) in ch.iter_mut().enumerate() {
+                            acc = op_ref(acc, f((ci * chunk + j, item)));
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+                .collect()
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0u32..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn order_stable_across_pool_sizes() {
+        let base: Vec<u32> = (0u32..513)
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(2654435761))
+            .collect();
+        for n in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let v: Vec<u32> = pool.install(|| {
+                (0u32..513)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(2654435761))
+                    .collect()
+            });
+            assert_eq!(v, base, "pool size {n} changed map order");
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_reduce() {
+        let mut v = vec![1u32; 100];
+        let changed = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                *slot = i as u32;
+                i % 2 == 0
+            })
+            .reduce(|| false, |a, b| a | b);
+        assert!(changed);
+        assert_eq!(v[99], 99);
+    }
+
+    #[test]
+    fn install_restores_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+        assert_ne!(POOL_THREADS.with(Cell::get), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline shim for `serde_derive`: a dependency-free `#[derive(Serialize)]`
+//! built directly on `proc_macro` (no syn/quote). See `shims/README.md`.
+//!
+//! Supports non-generic `struct`s (named, tuple, unit) and `enum`s with
+//! unit / newtype / tuple / struct variants, emitting the externally-tagged
+//! representation real serde uses. Generic items and `#[serde(..)]`
+//! attributes are rejected with a compile error naming this file.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(s) => s.parse().expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde_derive shim: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde_derive shim: expected type name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported (see shims/serde_derive)"
+            ));
+        }
+    }
+
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                struct_named_body(&fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                struct_tuple_body(n)
+            }
+            // `struct S;`
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => struct_named_body(&[]),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: unsupported struct body {other:?}"
+                ))
+            }
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, g.stream())?
+            }
+            other => {
+                return Err(format!(
+                    "serde_derive shim: unsupported enum body {other:?}"
+                ))
+            }
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+/// Advances past leading `#[..]` attributes and a `pub` / `pub(..)`
+/// visibility, rejecting `#[serde(..)]` which this shim cannot honor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner = g.stream().to_string();
+                    if inner.starts_with("serde") {
+                        return Err(format!(
+                            "serde_derive shim: #[{inner}] attributes are not supported"
+                        ));
+                    }
+                }
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Splits a token stream on commas at angle-bracket depth 0. Groups
+/// (parens/brackets/braces) are atomic tokens, so only `<`/`>` need depth
+/// tracking; `->` never appears at field-split depth in this workspace.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from a named-field list (`a: T, pub b: U, ..`).
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for piece in split_top_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&piece, &mut i)?;
+        match piece.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected field name, got {other:?}"
+                ))
+            }
+        }
+        // The `: Type` tail is irrelevant: serialization is structural.
+        match piece.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' && p.spacing() == Spacing::Alone => {}
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_commas(stream).len()
+}
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from({key:?}), {value_expr})")
+}
+
+fn struct_named_body(fields: &[String]) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn struct_tuple_body(n: usize) -> String {
+    if n == 1 {
+        // Newtype structs serialize transparently, as in real serde.
+        return "::serde::Serialize::to_value(&self.0)".to_string();
+    }
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+        .collect();
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
+    let mut arms = Vec::new();
+    for piece in split_top_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&piece, &mut i)?;
+        let vname = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected variant, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let arm = match piece.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                    .collect();
+                let inner = format!(
+                    "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                );
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec::Vec::from([{}])),",
+                    fields.join(", "),
+                    obj_entry(&vname, &inner)
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                let binds: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                let inner = if n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                        items.join(", ")
+                    )
+                };
+                format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(::std::vec::Vec::from([{}])),",
+                    binds.join(", "),
+                    obj_entry(&vname, &inner)
+                )
+            }
+            // Unit variant (possibly with an explicit `= discr`, which the
+            // split kept inside this piece — the tag is the name either way).
+            _ => format!(
+                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+            ),
+        };
+        arms.push(arm);
+    }
+    Ok(format!("match self {{ {} }}", arms.join("\n")))
+}

@@ -1,0 +1,104 @@
+//! Edge-case tests for the simulator's cost model and memory accounting:
+//! the degenerate inputs where a bug would silently skew every table in
+//! the evaluation (a free empty launch, an OOM that misreports its peak,
+//! counter aggregation that depends on merge order).
+
+use kcore::gpusim::{Counters, GpuContext, LaunchConfig, SimError, SimOptions};
+use proptest::prelude::*;
+
+fn ctx() -> GpuContext {
+    SimOptions::default().context()
+}
+
+#[test]
+fn empty_launch_still_charges_launch_overhead() {
+    let mut c = ctx();
+    let before = c.elapsed_ms();
+    c.launch(
+        "noop",
+        LaunchConfig {
+            blocks: 4,
+            threads_per_block: 32,
+        },
+        |_| Ok(()),
+    )
+    .unwrap();
+    let dt_s = (c.elapsed_ms() - before) / 1e3;
+    // a kernel that does no work costs exactly one launch overhead
+    assert!((dt_s - c.cost.kernel_launch_s).abs() < 1e-12, "dt={dt_s}");
+    let l = &c.launches()[0];
+    assert_eq!(l.counters, Counters::default());
+    assert_eq!(l.roofline.launch_overhead_s, c.cost.kernel_launch_s);
+    assert_eq!(l.roofline.compute_s, 0.0);
+    assert_eq!(l.roofline.mem_s, 0.0);
+    assert_eq!(l.roofline.bound(), "launch");
+}
+
+#[test]
+fn oom_reports_accurate_sizes_and_peak() {
+    let opts = SimOptions {
+        device_capacity_bytes: 1024,
+        ..SimOptions::default()
+    };
+    let mut c = opts.context();
+    c.alloc("fits", 128).unwrap(); // 512 B
+    let err = c.alloc("too-big", 256).unwrap_err(); // 1024 B > 512 B free
+    match err {
+        SimError::Oom(e) => {
+            assert_eq!(e.name, "too-big");
+            assert_eq!(e.requested_bytes, 1024);
+            assert_eq!(e.available_bytes, 512);
+            assert_eq!(e.capacity_bytes, 1024);
+        }
+        other => panic!("expected Oom, got {other}"),
+    }
+    // the failed allocation does not count toward the recorded peak
+    assert_eq!(c.report().peak_mem_bytes, 512);
+}
+
+fn arb_counters() -> impl Strategy<Value = Counters> {
+    // small ranges are enough: merge is element-wise addition
+    let f = 0u64..1u64 << 40;
+    (
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f.clone(),
+        f,
+    )
+        .prop_map(|(a, b, c, d, e, g, h, i)| Counters {
+            global_tx: a,
+            global_sectors: b,
+            dependent_reads: c,
+            global_atomics: d,
+            shared_atomics: e,
+            shared_accesses: g,
+            warp_instrs: h,
+            barriers: i,
+        })
+}
+
+proptest! {
+    /// `Counters::merge` is associative and commutative with a zero
+    /// identity, so per-block aggregation order (and therefore rayon
+    /// chunking) can never change a launch's summed counters.
+    #[test]
+    fn counters_merge_is_associative((a, b, c) in (arb_counters(), arb_counters(), arb_counters())) {
+        let mut ab = a; ab.merge(&b);
+        let mut ab_c = ab; ab_c.merge(&c);
+
+        let mut bc = b; bc.merge(&c);
+        let mut a_bc = a; a_bc.merge(&bc);
+
+        prop_assert_eq!(ab_c, a_bc);
+
+        let mut ba = b; ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        let mut az = a; az.merge(&Counters::default());
+        prop_assert_eq!(az, a);
+    }
+}

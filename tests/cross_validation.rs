@@ -4,9 +4,9 @@
 
 use kcore::cpu::{self, CoreAlgorithm};
 use kcore::gpu::{decompose, PeelConfig, SimOptions};
+use kcore::gpusim::LaunchConfig;
 use kcore::graph::{gen, Csr};
 use kcore::systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
-use kcore::gpusim::LaunchConfig;
 
 fn cpu_algorithms() -> Vec<Box<dyn CoreAlgorithm>> {
     vec![
@@ -25,7 +25,10 @@ fn cpu_algorithms() -> Vec<Box<dyn CoreAlgorithm>> {
 
 fn small_gpu_cfg() -> PeelConfig {
     PeelConfig {
-        launch: LaunchConfig { blocks: 6, threads_per_block: 128 },
+        launch: LaunchConfig {
+            blocks: 6,
+            threads_per_block: 128,
+        },
         buf_capacity: 8_192,
         shared_buf_capacity: 128,
         ..PeelConfig::default()
@@ -47,11 +50,31 @@ fn check_all(g: &Csr, label: &str) {
     // System baselines
     let costs = FrameworkCosts::default();
     let k_max = truth.iter().copied().max().unwrap_or(0);
-    assert_eq!(medusa::mpm(g, &opts, &costs).unwrap().core, truth, "{label}: Medusa-MPM");
-    assert_eq!(medusa::peel(g, &opts, &costs).unwrap().core, truth, "{label}: Medusa-Peel");
-    assert_eq!(gunrock::peel(g, &opts, &costs).unwrap().core, truth, "{label}: Gunrock");
-    assert_eq!(gswitch::peel(g, k_max, &opts, &costs).unwrap().core, truth, "{label}: GSwitch");
-    assert_eq!(vetga::peel(g, &opts, &costs).unwrap().run.core, truth, "{label}: VETGA");
+    assert_eq!(
+        medusa::mpm(g, &opts, &costs).unwrap().core,
+        truth,
+        "{label}: Medusa-MPM"
+    );
+    assert_eq!(
+        medusa::peel(g, &opts, &costs).unwrap().core,
+        truth,
+        "{label}: Medusa-Peel"
+    );
+    assert_eq!(
+        gunrock::peel(g, &opts, &costs).unwrap().core,
+        truth,
+        "{label}: Gunrock"
+    );
+    assert_eq!(
+        gswitch::peel(g, k_max, &opts, &costs).unwrap().core,
+        truth,
+        "{label}: GSwitch"
+    );
+    assert_eq!(
+        vetga::peel(g, &opts, &costs).unwrap().run.core,
+        truth,
+        "{label}: VETGA"
+    );
 }
 
 #[test]
@@ -78,7 +101,10 @@ fn edgeless_graphs() {
 #[test]
 fn random_graphs() {
     for seed in 0..3 {
-        check_all(&gen::erdos_renyi_gnm(250, 900, seed), &format!("gnm seed {seed}"));
+        check_all(
+            &gen::erdos_renyi_gnm(250, 900, seed),
+            &format!("gnm seed {seed}"),
+        );
     }
 }
 
@@ -89,7 +115,10 @@ fn skewed_graph() {
 
 #[test]
 fn rmat_graph() {
-    check_all(&gen::rmat(9, 2_000, gen::RmatParams::graph500(), 5), "rmat9");
+    check_all(
+        &gen::rmat(9, 2_000, gen::RmatParams::graph500(), 5),
+        "rmat9",
+    );
 }
 
 #[test]

@@ -4,16 +4,17 @@
 //! against the core pipeline.
 
 use kcore::cpu::{self, CoreAlgorithm};
-use kcore::gpu::{
-    decompose, decompose_multi, mpm_gpu, MultiGpuConfig, PeelConfig, SimOptions,
-};
-use kcore::graph::gen;
+use kcore::gpu::{decompose, decompose_multi, mpm_gpu, MultiGpuConfig, PeelConfig, SimOptions};
 use kcore::gpusim::LaunchConfig;
+use kcore::graph::gen;
 use proptest::prelude::*;
 
 fn small_peel() -> PeelConfig {
     PeelConfig {
-        launch: LaunchConfig { blocks: 8, threads_per_block: 64 },
+        launch: LaunchConfig {
+            blocks: 8,
+            threads_per_block: 64,
+        },
         buf_capacity: 4_096,
         ..PeelConfig::default()
     }
@@ -26,7 +27,11 @@ fn multi_gpu_matches_single_gpu_and_bz() {
     let single = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
     assert_eq!(single.core, truth);
     for gpus in [2, 4, 7] {
-        let cfg = MultiGpuConfig { num_gpus: gpus, peel: small_peel(), ..MultiGpuConfig::default() };
+        let cfg = MultiGpuConfig {
+            num_gpus: gpus,
+            peel: small_peel(),
+            ..MultiGpuConfig::default()
+        };
         let multi = decompose_multi(&g, &cfg, &SimOptions::default()).unwrap();
         assert_eq!(multi.core, truth, "{gpus} GPUs");
         assert_eq!(multi.k_max, single.k_max);
@@ -40,7 +45,11 @@ fn multi_gpu_memory_splits_but_totals_more() {
     // the trade §VII is about.
     let g = gen::rmat(12, 30_000, gen::RmatParams::graph500(), 5);
     let single = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
-    let cfg = MultiGpuConfig { num_gpus: 4, peel: small_peel(), ..MultiGpuConfig::default() };
+    let cfg = MultiGpuConfig {
+        num_gpus: 4,
+        peel: small_peel(),
+        ..MultiGpuConfig::default()
+    };
     let multi = decompose_multi(&g, &cfg, &SimOptions::default()).unwrap();
     assert_eq!(multi.core, single.core);
     assert!(multi.total_peak_mem_bytes > single.report.peak_mem_bytes);

@@ -3,8 +3,8 @@
 
 use kcore::cpu::{self, CoreAlgorithm};
 use kcore::gpu::{decompose, PeelConfig, SimOptions};
-use kcore::graph::{builder::from_edges, Csr};
 use kcore::gpusim::LaunchConfig;
+use kcore::graph::{builder::from_edges, Csr};
 use proptest::prelude::*;
 
 /// Strategy: a random simple undirected graph with up to `n` vertices.
@@ -17,7 +17,10 @@ fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = Csr> {
 
 fn gpu_cfg() -> PeelConfig {
     PeelConfig {
-        launch: LaunchConfig { blocks: 4, threads_per_block: 64 },
+        launch: LaunchConfig {
+            blocks: 4,
+            threads_per_block: 64,
+        },
         buf_capacity: 4_096,
         shared_buf_capacity: 64,
         ..PeelConfig::default()

@@ -39,7 +39,12 @@ fn smoke_datasets_decompose_consistently() {
         let pkc = kcore::cpu::pkc::ParallelPkc { threads: 4 }.run(&g);
         assert_eq!(bz, pkc, "{}", d.name);
         let km = kcore::cpu::k_max(&bz);
-        assert!(km >= 2, "{}: k_max {} too small to be interesting", d.name, km);
+        assert!(
+            km >= 2,
+            "{}: k_max {} too small to be interesting",
+            d.name,
+            km
+        );
     }
 }
 
@@ -54,7 +59,12 @@ fn dataset_standins_track_paper_shape() {
             // wiki-Talk: low average degree, huge skew
             "wiki-Talk" => {
                 assert!(s.avg_degree < 10.0, "{}", s.avg_degree);
-                assert!(s.degree_std > s.avg_degree, "std {} avg {}", s.degree_std, s.avg_degree);
+                assert!(
+                    s.degree_std > s.avg_degree,
+                    "std {} avg {}",
+                    s.degree_std,
+                    s.avg_degree
+                );
             }
             // amazon: moderate degree, mild skew
             "amazon0601" => {
