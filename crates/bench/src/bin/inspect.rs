@@ -10,10 +10,14 @@
 //! (per-launch counters, roofline decomposition, per-phase rollups — see
 //! DESIGN.md "Profiling & traces") is dumped to
 //! `results/traces/<dataset>_<impl>.json`. Set `KCORE_TRACE_BLOCKS=1` to
-//! also record per-block counters for each launch (large output).
+//! also record per-block counters for each launch (large output). Set
+//! `KCORE_TIMELINE=1` to additionally export each implementation's SM
+//! timeline as Chrome trace-event JSON
+//! (`results/traces/<dataset>_<impl>.perfetto.json`, open in
+//! <https://ui.perfetto.dev>) and print the per-kernel hotspot attribution.
 
-use kcore_bench::{prepare, save_trace};
-use kcore_gpusim::{Counters, GpuContext};
+use kcore_bench::{prepare, save_timeline, save_trace};
+use kcore_gpusim::{Counters, GpuContext, HOTSPOT_TOP_K};
 use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
 
 fn show(label: &str, ms: f64, iters: u64, c: &Counters, peak: u64) {
@@ -30,7 +34,7 @@ fn show(label: &str, ms: f64, iters: u64, c: &Counters, peak: u64) {
     );
 }
 
-fn dump(ctx: &GpuContext, dataset: &str, label: &str) {
+fn dump(ctx: &mut GpuContext, dataset: &str, label: &str) {
     let slug: String = label
         .to_ascii_lowercase()
         .chars()
@@ -40,6 +44,19 @@ fn dump(ctx: &GpuContext, dataset: &str, label: &str) {
         &format!("{dataset}_{slug}"),
         &ctx.trace(format!("{label} on {dataset}")),
     );
+    if std::env::var_os("KCORE_TIMELINE").is_some() {
+        save_timeline(
+            &format!("{dataset}_{slug}"),
+            &ctx.timeline(format!("{label} on {dataset}")),
+        );
+        for h in ctx.hotspots(HOTSPOT_TOP_K) {
+            let (bucket, ms) = h.dominant_bucket();
+            println!(
+                "    hotspot {:<16} {:>9.3} ms over {} launches  dominant: {bucket} ({ms:.3} ms)",
+                h.kernel, h.total_ms, h.launches
+            );
+        }
+    }
 }
 
 fn main() {
@@ -89,7 +106,7 @@ fn main() {
                 l.sum_block_cycles / l.blocks() as f64
             );
         }
-        dump(&ctx, e.dataset.name, "Ours");
+        dump(&mut ctx, e.dataset.name, "Ours");
     }
     for cfgv in e.peel_cfg.all_variants() {
         if cfgv.variant_name() == "Ours" {
@@ -109,7 +126,7 @@ fn main() {
             }
             Err(err) => println!("{}: {err}", cfgv.variant_name()),
         }
-        dump(&ctx, e.dataset.name, cfgv.variant_name());
+        dump(&mut ctx, e.dataset.name, cfgv.variant_name());
     }
     {
         let mut ctx = e.sim.context();
@@ -120,7 +137,7 @@ fn main() {
             }
             Err(err) => println!("GSwitch: {err}"),
         }
-        dump(&ctx, e.dataset.name, "GSwitch");
+        dump(&mut ctx, e.dataset.name, "GSwitch");
     }
     {
         let mut ctx = e.sim.context();
@@ -131,7 +148,7 @@ fn main() {
             }
             Err(err) => println!("Gunrock: {err}"),
         }
-        dump(&ctx, e.dataset.name, "Gunrock");
+        dump(&mut ctx, e.dataset.name, "Gunrock");
     }
     {
         let mut ctx = e.sim.context();
@@ -142,7 +159,7 @@ fn main() {
             }
             Err(err) => println!("VETGA: {err}"),
         }
-        dump(&ctx, e.dataset.name, "VETGA");
+        dump(&mut ctx, e.dataset.name, "VETGA");
     }
     {
         let mut ctx = e.sim.context();
@@ -153,7 +170,7 @@ fn main() {
             }
             Err(err) => println!("Medusa-Peel: {err}"),
         }
-        dump(&ctx, e.dataset.name, "Medusa-Peel");
+        dump(&mut ctx, e.dataset.name, "Medusa-Peel");
     }
     {
         let mut ctx = e.sim.context();
@@ -164,6 +181,6 @@ fn main() {
             }
             Err(err) => println!("Medusa-MPM: {err}"),
         }
-        dump(&ctx, e.dataset.name, "Medusa-MPM");
+        dump(&mut ctx, e.dataset.name, "Medusa-MPM");
     }
 }

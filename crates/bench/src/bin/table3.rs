@@ -14,7 +14,7 @@ use kcore_gpusim::GpuContext;
 use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
 use serde::Serialize;
 
-fn dump(ctx: &GpuContext, dataset: &str, system: &str) {
+fn dump(ctx: &mut GpuContext, dataset: &str, system: &str) {
     if std::env::var("KCORE_TRACE").is_err() {
         return;
     }
@@ -65,7 +65,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "Ours");
+            dump(&mut ctx, e.dataset.name, "Ours");
         }
         // VETGA: loading is checked against the (scaled) hour first.
         let load_ms = vetga::load_time_ms(&e.graph, &costs);
@@ -78,7 +78,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "VETGA");
+            dump(&mut ctx, e.dataset.name, "VETGA");
         }
         // Medusa-MPM
         {
@@ -88,7 +88,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "Medusa-MPM");
+            dump(&mut ctx, e.dataset.name, "Medusa-MPM");
         }
         // Medusa-Peel
         {
@@ -98,7 +98,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "Medusa-Peel");
+            dump(&mut ctx, e.dataset.name, "Medusa-Peel");
         }
         // Gunrock
         {
@@ -108,7 +108,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "Gunrock");
+            dump(&mut ctx, e.dataset.name, "Gunrock");
         }
         // GSwitch (round count hardcoded from the known k_max, as in §V)
         {
@@ -118,7 +118,7 @@ fn main() {
                     .map(|(core, _)| (core, ctx.elapsed_ms())),
                 &e.truth,
             ));
-            dump(&ctx, e.dataset.name, "GSwitch");
+            dump(&mut ctx, e.dataset.name, "GSwitch");
         }
 
         let times: Vec<Option<f64>> = cells.iter().map(Cell::avg_ms).collect();

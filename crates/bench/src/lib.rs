@@ -19,6 +19,8 @@
 //! * `KCORE_SMOKE` — set to use the miniature smoke-test registry subset
 //!   (fast CI runs).
 
+pub mod regress;
+
 use kcore_cpu::CoreAlgorithm;
 use kcore_gpu::PeelConfig;
 use kcore_gpusim::{SimError, SimOptions};
@@ -274,11 +276,44 @@ pub fn results_dir() -> PathBuf {
 
 /// Writes a captured kernel [`Trace`](kcore_gpusim::Trace) as pretty-printed
 /// JSON into `results/traces/<name>.json`.
+///
+/// Overwriting a previous dump is announced rather than silent, and a
+/// previous dump written under a *different* trace schema is preserved as
+/// `<name>.schema<v>.json` instead of being mixed over — tooling scanning
+/// the directory never sees two schemas under one name.
 pub fn save_trace(name: &str, trace: &kcore_gpusim::Trace) {
     let dir = results_dir().join("traces");
     std::fs::create_dir_all(&dir).expect("create traces dir");
     let path = dir.join(format!("{name}.json"));
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        let old_schema = regress::parse_json(&old)
+            .ok()
+            .and_then(|v| regress::get(&v, "schema_version").and_then(regress::as_u64))
+            // PR 1 traces predate the schema_version field
+            .unwrap_or(1);
+        if old_schema != kcore_gpusim::TRACE_SCHEMA_VERSION as u64 {
+            let aside = dir.join(format!("{name}.schema{old_schema}.json"));
+            std::fs::rename(&path, &aside).expect("preserve old-schema trace");
+            eprintln!(
+                "[trace {name}: previous dump used schema {old_schema} (current {}); kept as {}]",
+                kcore_gpusim::TRACE_SCHEMA_VERSION,
+                aside.display()
+            );
+        } else {
+            eprintln!("[trace {name}: overwriting previous dump]");
+        }
+    }
     std::fs::write(&path, trace.to_json()).expect("write trace");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Writes a [`Timeline`](kcore_gpusim::Timeline) as Chrome trace-event JSON
+/// into `results/traces/<name>.perfetto.json` (open in <https://ui.perfetto.dev>).
+pub fn save_timeline(name: &str, timeline: &kcore_gpusim::Timeline) {
+    let dir = results_dir().join("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path = dir.join(format!("{name}.perfetto.json"));
+    std::fs::write(&path, timeline.to_chrome_json()).expect("write timeline");
     eprintln!("[saved {}]", path.display());
 }
 

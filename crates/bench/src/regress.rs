@@ -1,0 +1,642 @@
+//! Bench-regression recorder: schema-versioned `BENCH_<n>.json` snapshots
+//! and the diff gate between consecutive ones.
+//!
+//! A snapshot pins what the simulator *currently* says about every
+//! implementation on the selected datasets: simulated milliseconds, the
+//! trace's counters fingerprint (workload identity, timing-free), and the
+//! per-kernel hotspot summary. `record_bench` appends `BENCH_0.json`,
+//! `BENCH_1.json`, … to the results directory, so the repo accumulates a
+//! performance trajectory instead of anecdotes; [`diff`] compares a new
+//! snapshot against the latest recorded one and flags any implementation
+//! whose simulated time regressed by more than
+//! [`REGRESSION_THRESHOLD`] — `scripts/check_regression.sh` turns that into
+//! a CI failure.
+//!
+//! Comparisons refuse to cross schema versions or dataset modes
+//! (smoke vs full registry): a diff between snapshots that measured
+//! different things would report garbage with a straight face.
+//!
+//! The `serde_json` shim only serializes, so this module carries its own
+//! minimal JSON parser ([`parse_json`]) for reading prior snapshots back.
+
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// Version of the snapshot schema; bump on any shape change so old
+/// snapshots are skipped, not misread.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Relative sim-time increase that counts as a regression (5%).
+pub const REGRESSION_THRESHOLD: f64 = 0.05;
+
+/// One recorded benchmark snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct Snapshot {
+    /// Snapshot schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Trace-subsystem schema the measurements were taken under.
+    pub trace_schema_version: u32,
+    /// Snapshot sequence number (the `<n>` in `BENCH_<n>.json`).
+    pub seq: u32,
+    /// Dataset registry mode: `"smoke"` or `"full"`.
+    pub mode: String,
+    /// One entry per (dataset, implementation) measurement.
+    pub entries: Vec<Entry>,
+}
+
+/// One measured (dataset, implementation) pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct Entry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Implementation name (`"Ours"`, `"Gunrock"`, …).
+    pub impl_name: String,
+    /// Run outcome: `"ok"`, `"oom"`, `"timeout"`, or `"error"`.
+    pub status: String,
+    /// Total simulated time, ms.
+    pub sim_ms: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Order-sensitive counters fingerprint of the run's trace — identical
+    /// fingerprints mean the same simulated workload, so a sim-time delta is
+    /// a cost-model or scheduling change, not an algorithm change.
+    pub counters_fingerprint: u64,
+    /// Per-kernel hotspot summary, worst kernel first.
+    pub hotspots: Vec<HotspotSummary>,
+}
+
+/// Compressed hotspot line for a snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotspotSummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launches of the kernel.
+    pub launches: u64,
+    /// Total simulated time, ms.
+    pub total_ms: f64,
+    /// Largest attribution bucket.
+    pub dominant: String,
+    /// That bucket's share, ms.
+    pub dominant_ms: f64,
+}
+
+/// Outcome of diffing a new snapshot against the previous one.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Human-readable per-entry lines, in entry order.
+    pub lines: Vec<String>,
+    /// Entries that regressed beyond [`REGRESSION_THRESHOLD`].
+    pub regressions: Vec<String>,
+    /// Set when the comparison was skipped entirely (schema/mode mismatch).
+    pub skipped: Option<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate should fail.
+    pub fn failed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files
+// ---------------------------------------------------------------------------
+
+/// Sequence numbers of every `BENCH_<n>.json` under `dir`, ascending.
+pub fn recorded_seqs(dir: &Path) -> Vec<u32> {
+    let mut seqs: Vec<u32> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    seqs.sort_unstable();
+    seqs
+}
+
+/// Path of snapshot `seq` under `dir`.
+pub fn snapshot_path(dir: &Path, seq: u32) -> PathBuf {
+    dir.join(format!("BENCH_{seq}.json"))
+}
+
+/// Loads the most recent recorded snapshot, if any, as a parsed JSON value.
+pub fn latest_snapshot(dir: &Path) -> Option<(u32, Value)> {
+    let seq = recorded_seqs(dir).pop()?;
+    let text = std::fs::read_to_string(snapshot_path(dir, seq)).ok()?;
+    match parse_json(&text) {
+        Ok(v) => Some((seq, v)),
+        Err(e) => {
+            eprintln!("[regress] ignoring unreadable BENCH_{seq}.json: {e}");
+            None
+        }
+    }
+}
+
+/// Writes `snap` as `BENCH_<seq>.json` under `dir` and returns the path.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = snapshot_path(dir, snap.seq);
+    let json = serde_json::to_string_pretty(snap).expect("snapshot serializes");
+    std::fs::write(&path, json).expect("write snapshot");
+    path
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+/// Compares `cur` against a previously recorded snapshot (as loaded by
+/// [`latest_snapshot`]). Entries pair up by (dataset, implementation); only
+/// pairs that both ran `"ok"` gate on time.
+pub fn diff(prev: &Value, cur: &Snapshot) -> DiffReport {
+    let mut rep = DiffReport::default();
+    let prev_schema = get(prev, "schema_version").and_then(as_u64);
+    if prev_schema != Some(BENCH_SCHEMA_VERSION as u64) {
+        rep.skipped = Some(format!(
+            "previous snapshot has schema {prev_schema:?}, current is {BENCH_SCHEMA_VERSION} — not comparable"
+        ));
+        return rep;
+    }
+    let prev_mode = get(prev, "mode").and_then(as_str).unwrap_or("?");
+    if prev_mode != cur.mode {
+        rep.skipped = Some(format!(
+            "previous snapshot measured the {prev_mode} registry, current run the {} registry — not comparable",
+            cur.mode
+        ));
+        return rep;
+    }
+    let empty = Vec::new();
+    let prev_entries = get(prev, "entries").and_then(as_array).unwrap_or(&empty);
+    for e in &cur.entries {
+        let key = format!("{} / {}", e.dataset, e.impl_name);
+        let old = prev_entries.iter().find(|p| {
+            get(p, "dataset").and_then(as_str) == Some(&e.dataset)
+                && get(p, "impl_name").and_then(as_str) == Some(&e.impl_name)
+        });
+        let Some(old) = old else {
+            rep.lines.push(format!("  {key}: new entry ({})", e.status));
+            continue;
+        };
+        let old_status = get(old, "status").and_then(as_str).unwrap_or("?");
+        if old_status != "ok" || e.status != "ok" {
+            rep.lines
+                .push(format!("  {key}: status {old_status} -> {}", e.status));
+            continue;
+        }
+        let old_ms = get(old, "sim_ms").and_then(as_f64).unwrap_or(0.0);
+        let delta = if old_ms > 0.0 {
+            (e.sim_ms - old_ms) / old_ms
+        } else {
+            0.0
+        };
+        let fp_note =
+            if get(old, "counters_fingerprint").and_then(as_u64) != Some(e.counters_fingerprint) {
+                "  [workload changed]"
+            } else {
+                ""
+            };
+        rep.lines.push(format!(
+            "  {key}: {old_ms:.3} ms -> {:.3} ms ({:+.1}%){fp_note}",
+            e.sim_ms,
+            delta * 100.0
+        ));
+        if delta > REGRESSION_THRESHOLD {
+            rep.regressions.push(format!(
+                "{key}: {old_ms:.3} ms -> {:.3} ms (+{:.1}% > {:.0}%)",
+                e.sim_ms,
+                delta * 100.0,
+                REGRESSION_THRESHOLD * 100.0
+            ));
+        }
+    }
+    rep
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (the serde_json shim only serializes)
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into the serde shim's [`Value`] tree. Supports the
+/// full JSON grammar this workspace emits (objects, arrays, strings with
+/// `\uXXXX` escapes, integer/float numbers, booleans, null).
+pub fn parse_json(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Looks up `key` in a JSON object value.
+pub fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Unwraps a string value.
+pub fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Unwraps an unsigned integer value.
+pub fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    }
+}
+
+/// Unwraps any numeric value as f64.
+pub fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Unwraps an array value.
+pub fn as_array(v: &Value) -> Option<&Vec<Value>> {
+    match v {
+        Value::Array(a) => Some(a),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // surrogate pairs don't occur in our own output;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (strings came from &str, so
+                    // the bytes are valid UTF-8)
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos] & 0b1100_0000) == 0b1000_0000
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(dataset: &str, name: &str, ms: f64, fp: u64) -> Entry {
+        Entry {
+            dataset: dataset.into(),
+            impl_name: name.into(),
+            status: "ok".into(),
+            sim_ms: ms,
+            launches: 10,
+            counters_fingerprint: fp,
+            hotspots: vec![HotspotSummary {
+                kernel: "loop".into(),
+                launches: 5,
+                total_ms: ms * 0.8,
+                dominant: "uncoalesced".into(),
+                dominant_ms: ms * 0.5,
+            }],
+        }
+    }
+
+    fn snap(seq: u32, entries: Vec<Entry>) -> Snapshot {
+        Snapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            trace_schema_version: kcore_gpusim::TRACE_SCHEMA_VERSION,
+            seq,
+            mode: "smoke".into(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_own_output() {
+        let s = snap(3, vec![entry("amazon0601", "Ours", 12.25, 0xdead_beef)]);
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let v = parse_json(&json).unwrap();
+        assert_eq!(get(&v, "schema_version").and_then(as_u64), Some(1));
+        assert_eq!(get(&v, "seq").and_then(as_u64), Some(3));
+        assert_eq!(get(&v, "mode").and_then(as_str), Some("smoke"));
+        let entries = get(&v, "entries").and_then(as_array).unwrap();
+        assert_eq!(get(&entries[0], "sim_ms").and_then(as_f64), Some(12.25));
+        assert_eq!(
+            get(&entries[0], "counters_fingerprint").and_then(as_u64),
+            Some(0xdead_beef)
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_numbers() {
+        let v = parse_json(
+            r#"{"a": [1, -2, 3.5, 1e3, true, false, null], "s": "q\"\\\nA", "o": {"k": []}}"#,
+        )
+        .unwrap();
+        let a = get(&v, "a").and_then(as_array).unwrap();
+        assert_eq!(as_u64(&a[0]), Some(1));
+        assert_eq!(as_f64(&a[1]), Some(-2.0));
+        assert_eq!(as_f64(&a[2]), Some(3.5));
+        assert_eq!(as_f64(&a[3]), Some(1000.0));
+        assert_eq!(get(&v, "s").and_then(as_str), Some("q\"\\\nA"));
+        assert!(parse_json("{\"x\": }").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("[1] junk").is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_threshold() {
+        let old = snap(
+            0,
+            vec![
+                entry("a", "Ours", 100.0, 1),
+                entry("a", "Gunrock", 100.0, 2),
+            ],
+        );
+        let prev = parse_json(&serde_json::to_string(&old).unwrap()).unwrap();
+        // 4% slower: within the gate; 10% slower: regression
+        let new = snap(
+            1,
+            vec![
+                entry("a", "Ours", 104.0, 1),
+                entry("a", "Gunrock", 110.0, 2),
+            ],
+        );
+        let rep = diff(&prev, &new);
+        assert!(rep.skipped.is_none());
+        assert_eq!(rep.regressions.len(), 1, "{:?}", rep.regressions);
+        assert!(rep.regressions[0].contains("Gunrock"));
+        assert!(rep.failed());
+    }
+
+    #[test]
+    fn diff_notes_workload_changes_and_new_entries() {
+        let old = snap(0, vec![entry("a", "Ours", 100.0, 1)]);
+        let prev = parse_json(&serde_json::to_string(&old).unwrap()).unwrap();
+        let new = snap(
+            1,
+            vec![entry("a", "Ours", 100.0, 99), entry("b", "Ours", 5.0, 1)],
+        );
+        let rep = diff(&prev, &new);
+        assert!(!rep.failed());
+        assert!(rep.lines[0].contains("[workload changed]"));
+        assert!(rep.lines[1].contains("new entry"));
+    }
+
+    #[test]
+    fn diff_refuses_mismatched_schema_or_mode() {
+        let mut other_mode = snap(0, vec![entry("a", "Ours", 100.0, 1)]);
+        other_mode.mode = "full".into();
+        let prev = parse_json(&serde_json::to_string(&other_mode).unwrap()).unwrap();
+        let new = snap(1, vec![entry("a", "Ours", 200.0, 1)]);
+        let rep = diff(&prev, &new);
+        assert!(rep.skipped.is_some());
+        assert!(!rep.failed());
+
+        let bad_schema = parse_json(r#"{"schema_version": 99, "mode": "smoke"}"#).unwrap();
+        let rep = diff(&bad_schema, &new);
+        assert!(rep.skipped.is_some());
+        assert!(!rep.failed());
+    }
+
+    #[test]
+    fn snapshot_files_sequence() {
+        let dir = std::env::temp_dir().join(format!("kcore_regress_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(recorded_seqs(&dir).is_empty());
+        assert!(latest_snapshot(&dir).is_none());
+        write_snapshot(&dir, &snap(0, vec![entry("a", "Ours", 1.0, 1)]));
+        write_snapshot(&dir, &snap(1, vec![entry("a", "Ours", 2.0, 1)]));
+        assert_eq!(recorded_seqs(&dir), vec![0, 1]);
+        let (seq, v) = latest_snapshot(&dir).unwrap();
+        assert_eq!(seq, 1);
+        let entries = get(&v, "entries").and_then(as_array).unwrap();
+        assert_eq!(get(&entries[0], "sim_ms").and_then(as_f64), Some(2.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -102,6 +102,9 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
         })?;
         ctx.set_phase("Sync");
         let changed = ctx.dtoh_word(d_flag, 0);
+        // Observability: vertices whose estimate moved this sweep, on the
+        // "changed" counter track (free — sampling charges nothing).
+        ctx.sample_counter("changed", changed as f64);
         bufs.swap(0, 1);
         if changed == 0 {
             break;

@@ -229,6 +229,9 @@ pub fn decompose_multi(
                     blk.counters.global_atomics += arcs_walked / blocks + 1;
                     Ok(())
                 })?;
+                // Observability: this worker's sub-round frontier on its own
+                // device's "frontier" track (free — charges nothing).
+                w.ctx.sample_counter("frontier", q as f64);
                 loop_ms = loop_ms.max(w.ctx.elapsed_ms() - before);
             }
             total_ms += loop_ms;

@@ -121,7 +121,11 @@ pub fn decompose_in(
         )?;
         // Algorithm 1 line 8: the synchronizing gpu_count readback.
         ctx.set_phase("Sync");
+        let prev = count;
         count = ctx.dtoh_word(d_count, 0) as u64;
+        // Observability: this round's k-shell size on the "frontier" counter
+        // track (free — sampling charges nothing).
+        ctx.sample_counter("frontier", (count - prev) as f64);
         k += 1;
         rounds += 1;
         if k as usize > n + 1 {

@@ -107,6 +107,10 @@ pub struct CostParams {
     /// Global-traffic bytes attributed to one global atomic (read-modify-
     /// write of one 32-byte sector).
     pub atomic_traffic_bytes: u64,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM (hardware scheduler limit).
+    pub max_blocks_per_sm: u32,
 }
 
 impl CostParams {
@@ -134,7 +138,19 @@ impl CostParams {
             instr_cycles: 1.0,
             barrier_cycles: 32.0,
             atomic_traffic_bytes: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
         }
+    }
+
+    /// Blocks of `cfg`'s width that can be *resident* on one SM at once:
+    /// the thread-count ceiling (`max_threads_per_sm / BLK_DIM`) clamped by
+    /// the hardware block-scheduler limit, never below one. With the paper's
+    /// 1024-thread blocks a P100 SM holds 2 blocks.
+    pub fn occupancy(&self, cfg: &LaunchConfig) -> u32 {
+        (self.max_threads_per_sm / cfg.threads_per_block.max(1))
+            .min(self.max_blocks_per_sm)
+            .max(1)
     }
 
     /// Compute cycles a block's counters cost on one SM.
@@ -212,6 +228,62 @@ impl Roofline {
     }
 }
 
+/// One block's placement in the per-SM schedule of a launch
+/// ([`schedule_blocks`]): which SM (and residency slot on it) ran the block
+/// and over which simulated cycle interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BlockSchedule {
+    /// Block index within the grid (`blockIdx.x`).
+    pub block: u32,
+    /// SM the block ran on.
+    pub sm: u32,
+    /// Residency slot on that SM (0-based; bounded by
+    /// [`CostParams::occupancy`]).
+    pub slot: u32,
+    /// Cycle at which the block began executing, relative to launch start.
+    pub start_cycles: f64,
+    /// Cycle at which the block retired.
+    pub end_cycles: f64,
+}
+
+/// Deterministic per-SM block scheduling of a launch: each of `sm_count` SMs
+/// offers `occupancy` residency slots; a slot executes its blocks
+/// back-to-back. Blocks dispatch in index order to the earliest-free slot
+/// (ties → lowest SM, then lowest slot), so uniform grids round-robin across
+/// the SMs first and only then stack residency — the hardware's "as thread
+/// blocks terminate, new blocks are launched on the vacated SMs" behaviour
+/// with occupancy-limited residency. The returned spans drive the
+/// [`crate::timeline::Timeline`] events; their makespan is the schedule's
+/// compute horizon.
+pub fn schedule_blocks(block_cycles: &[f64], sm_count: u32, occupancy: u32) -> Vec<BlockSchedule> {
+    let sms = sm_count.max(1) as usize;
+    let occ = occupancy.max(1) as usize;
+    // context index = slot * sms + sm, so the tie-break "lowest context
+    // index" fills slot 0 of every SM before any SM hosts a second block.
+    let mut free_at = vec![0.0f64; sms * occ];
+    block_cycles
+        .iter()
+        .enumerate()
+        .map(|(b, &cycles)| {
+            let (ctx_idx, _) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                .unwrap();
+            let start = free_at[ctx_idx];
+            let end = start + cycles;
+            free_at[ctx_idx] = end;
+            BlockSchedule {
+                block: b as u32,
+                sm: (ctx_idx % sms) as u32,
+                slot: (ctx_idx / sms) as u32,
+                start_cycles: start,
+                end_cycles: end,
+            }
+        })
+        .collect()
+}
+
 /// Greedy list-scheduling makespan of `jobs` on `machines` (dispatch order,
 /// least-loaded machine first) — how block grids fill SMs.
 pub fn makespan(jobs: &[f64], machines: usize) -> f64 {
@@ -238,6 +310,8 @@ pub struct LaunchRecord {
     pub phase: &'static str,
     /// Grid geometry of the launch.
     pub config: LaunchConfig,
+    /// Sim-clock timestamp at which the launch was issued, seconds.
+    pub start_s: f64,
     /// Simulated duration of this launch, in seconds.
     pub time_s: f64,
     /// Summed counters over all blocks.
@@ -248,6 +322,9 @@ pub struct LaunchRecord {
     pub max_block_cycles: f64,
     /// Total cycle count across blocks.
     pub sum_block_cycles: f64,
+    /// Every block's priced cycle count, in dispatch order — the input the
+    /// timeline's per-SM scheduler replays ([`schedule_blocks`]).
+    pub block_cycles: Vec<f64>,
     /// Per-block counter deltas, recorded only when block profiling is on
     /// ([`crate::GpuContext::set_block_profiling`]) — `counters` is their sum.
     pub block_counters: Option<Vec<Counters>>,
@@ -274,12 +351,31 @@ pub enum TransferDir {
 pub struct TransferRecord {
     /// Algorithm phase active at transfer time.
     pub phase: &'static str,
+    /// Sim-clock timestamp at which the copy was issued, seconds.
+    pub start_s: f64,
     /// Copy direction.
     pub dir: TransferDir,
     /// Payload size.
     pub bytes: u64,
     /// Simulated duration (PCIe latency + bytes / PCIe bandwidth), seconds.
     pub time_s: f64,
+}
+
+/// One host-sampled point on a named counter track (e.g. per-round frontier
+/// size), timestamped with the sim clock at the moment of sampling. Sampling
+/// is free (no simulated cost) — it is pure observability, recorded by
+/// [`crate::GpuContext::sample_counter`] and exported as a Perfetto counter
+/// track.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CounterSample {
+    /// Track name (`"frontier"`, `"changed"`, …).
+    pub track: &'static str,
+    /// Algorithm phase active at sampling time.
+    pub phase: &'static str,
+    /// Sim-clock timestamp, seconds.
+    pub time_s: f64,
+    /// Sampled value.
+    pub value: f64,
 }
 
 /// Summary of a whole simulated program run.
@@ -365,6 +461,59 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.global_tx, 3);
         assert_eq!(a.warp_instrs, 5);
+    }
+
+    #[test]
+    fn occupancy_respects_thread_and_block_limits() {
+        let p = CostParams::p100();
+        let cfg = |tpb: u32| LaunchConfig {
+            blocks: 108,
+            threads_per_block: tpb,
+        };
+        assert_eq!(p.occupancy(&cfg(1024)), 2); // 2048 / 1024
+        assert_eq!(p.occupancy(&cfg(256)), 8);
+        assert_eq!(p.occupancy(&cfg(32)), 32); // block-scheduler limit binds
+        assert_eq!(p.occupancy(&cfg(2048)), 1);
+    }
+
+    #[test]
+    fn schedule_round_robins_before_stacking_residency() {
+        // 6 equal blocks, 4 SMs, occupancy 2: blocks 0-3 land on SMs 0-3
+        // slot 0 at cycle 0; blocks 4-5 stack onto slot 1 of SMs 0-1.
+        let s = schedule_blocks(&[10.0; 6], 4, 2);
+        for b in 0..4 {
+            assert_eq!((s[b].sm, s[b].slot, s[b].start_cycles), (b as u32, 0, 0.0));
+        }
+        assert_eq!((s[4].sm, s[4].slot), (0, 1));
+        assert_eq!((s[5].sm, s[5].slot), (1, 1));
+        assert_eq!(s[5].end_cycles, 10.0);
+    }
+
+    #[test]
+    fn schedule_backfills_vacated_slots() {
+        // occupancy 1, 2 SMs: the third block waits for the earliest SM.
+        let s = schedule_blocks(&[5.0, 20.0, 7.0], 2, 1);
+        assert_eq!(
+            (s[2].sm, s[2].start_cycles, s[2].end_cycles),
+            (0, 5.0, 12.0)
+        );
+        // schedule makespan matches the greedy makespan on the same machines
+        let horizon = s.iter().map(|b| b.end_cycles).fold(0.0, f64::max);
+        assert_eq!(horizon, makespan(&[5.0, 20.0, 7.0], 2));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_all_blocks() {
+        let cycles: Vec<f64> = (0..200).map(|i| ((i * 37) % 97) as f64).collect();
+        let a = schedule_blocks(&cycles, 56, 2);
+        let b = schedule_blocks(&cycles, 56, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for (i, sp) in a.iter().enumerate() {
+            assert_eq!(sp.block as usize, i);
+            assert!(sp.sm < 56 && sp.slot < 2);
+            assert!((sp.end_cycles - sp.start_cycles - cycles[i]).abs() < 1e-12);
+        }
     }
 
     #[test]

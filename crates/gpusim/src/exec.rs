@@ -14,7 +14,9 @@
 //! slices. The per-access helpers ([`BlockCtx::gread`], [`BlockCtx::atomic_add`],
 //! …) bundle the access with its charge for the common cases.
 
-use crate::cost::{CostParams, Counters, LaunchRecord, SimReport, TransferDir, TransferRecord};
+use crate::cost::{
+    CostParams, CounterSample, Counters, LaunchRecord, SimReport, TransferDir, TransferRecord,
+};
 use crate::device::{BufferId, Device, OomError};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -353,6 +355,7 @@ pub struct GpuContext {
     limit_s: Option<f64>,
     launches: Vec<LaunchRecord>,
     transfers: Vec<TransferRecord>,
+    counter_samples: Vec<CounterSample>,
     h2d_bytes: u64,
     d2h_bytes: u64,
     schedule_seed: u64,
@@ -372,6 +375,7 @@ impl GpuContext {
             limit_s: None,
             launches: Vec::new(),
             transfers: Vec::new(),
+            counter_samples: Vec::new(),
             h2d_bytes: 0,
             d2h_bytes: 0,
             schedule_seed: 0,
@@ -436,13 +440,35 @@ impl GpuContext {
             TransferDir::HostToDevice => self.h2d_bytes += bytes,
             TransferDir::DeviceToHost => self.d2h_bytes += bytes,
         }
+        let start_s = self.time_s;
         self.time_s += time_s;
         self.transfers.push(TransferRecord {
             phase: self.phase,
+            start_s,
             dir,
             bytes,
             time_s,
         });
+    }
+
+    /// Samples a named observability counter track at the current sim-clock
+    /// timestamp (e.g. the per-round frontier size Algorithm 1 reads back).
+    /// Sampling charges nothing — it does not advance the clock or touch any
+    /// kernel counter, so enabling it cannot perturb a golden trace's
+    /// fingerprint. Samples surface as Perfetto counter tracks
+    /// ([`crate::perfetto`]).
+    pub fn sample_counter(&mut self, track: &'static str, value: f64) {
+        self.counter_samples.push(CounterSample {
+            track,
+            phase: self.phase,
+            time_s: self.time_s,
+            value,
+        });
+    }
+
+    /// Counter-track samples recorded so far, in sampling order.
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        &self.counter_samples
     }
 
     /// `cudaMalloc` + `cudaMemcpy` host→device, charged at PCIe bandwidth.
@@ -524,6 +550,7 @@ impl GpuContext {
         let traffic = self.cost.traffic_bytes(&total);
         let roofline = self.cost.roofline(&block_cycles, traffic);
         let t = roofline.total_s();
+        let start_s = self.time_s;
         self.time_s += t;
         let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
         let sum_block_cycles = block_cycles.iter().sum();
@@ -531,11 +558,13 @@ impl GpuContext {
             name,
             phase: self.phase,
             config: cfg,
+            start_s,
             time_s: t,
             counters: total,
             roofline,
             max_block_cycles,
             sum_block_cycles,
+            block_cycles,
             block_counters: if self.profile_blocks {
                 Some(per_block)
             } else {
@@ -920,6 +949,41 @@ mod tests {
         assert_eq!(BlockCtx::coalesced_tx(32), 1); // 128 B exactly
         assert_eq!(BlockCtx::coalesced_tx(33), 2);
         assert_eq!(BlockCtx::coalesced_tx(64), 2);
+    }
+
+    #[test]
+    fn records_carry_start_timestamps_and_block_cycles() {
+        let mut c = ctx();
+        let buf = c.htod("x", &[0u32; 64]).unwrap();
+        let cfg = LaunchConfig {
+            blocks: 3,
+            threads_per_block: 32,
+        };
+        c.launch("k", cfg, |blk| {
+            blk.charge_instr(10 * (blk.block_idx as u64 + 1));
+            let _ = buf;
+            Ok(())
+        })
+        .unwrap();
+        let t0 = &c.transfers()[0];
+        assert_eq!(t0.start_s, 0.0);
+        let l = &c.launches()[0];
+        // the launch started when the htod finished
+        assert!((l.start_s - t0.time_s).abs() < 1e-15);
+        assert_eq!(l.block_cycles, vec![10.0, 20.0, 30.0]);
+        assert!((c.elapsed_ms() / 1e3 - (l.start_s + l.time_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn counter_samples_record_clock_and_phase_without_cost() {
+        let mut c = ctx();
+        let before = c.elapsed_ms();
+        c.set_phase("Sync");
+        c.sample_counter("frontier", 42.0);
+        assert_eq!(c.elapsed_ms(), before); // sampling is free
+        let s = &c.counter_samples()[0];
+        assert_eq!((s.track, s.phase, s.value), ("frontier", "Sync", 42.0));
+        assert_eq!(s.time_s, 0.0);
     }
 
     #[test]

@@ -53,15 +53,22 @@
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod perfetto;
 pub mod scan;
+pub mod timeline;
 pub mod trace;
 pub mod warp;
 
 pub use cost::{
-    CostParams, Counters, LaunchRecord, Roofline, SimReport, TransferDir, TransferRecord,
+    BlockSchedule, CostParams, CounterSample, Counters, LaunchRecord, Roofline, SimReport,
+    TransferDir, TransferRecord,
 };
 pub use device::{BufferId, Device, OomError};
 pub use exec::{
     BlockCtx, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
 };
-pub use trace::{DeviceInfo, LaunchEvent, PhaseSummary, Totals, Trace, TransferEvent};
+pub use timeline::{BlockCost, CounterPoint, Hotspot, Timeline, TimelineSpan, TransferSpan};
+pub use trace::{
+    DeviceInfo, LaunchEvent, PhaseSummary, Totals, Trace, TransferEvent, HOTSPOT_TOP_K,
+    TRACE_SCHEMA_VERSION,
+};

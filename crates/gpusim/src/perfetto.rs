@@ -1,0 +1,262 @@
+//! Chrome trace-event export of a [`Timeline`], loadable in Perfetto.
+//!
+//! [`Timeline::to_chrome_json`] serializes an SM-level timeline to the
+//! Chrome trace-event JSON format (the `traceEvents` array of `"X"`
+//! complete / `"M"` metadata / `"C"` counter events, timestamps in
+//! microseconds) that <https://ui.perfetto.dev> and `chrome://tracing`
+//! open directly:
+//!
+//! * **pid 0 — the GPU.** One thread track per SM; a block executing on a
+//!   residency slot beyond the first gets a sibling `SM nn · slot s` track
+//!   so concurrent residents never overlap within one track. Each block is
+//!   an `"X"` span named after its kernel, with the phase as category and
+//!   launch/block/slot/warps in `args`.
+//! * **pid 1 — PCIe.** Host↔device copies as `"X"` spans (`h2d` / `d2h`).
+//! * **Counter tracks.** Every [`crate::timeline::CounterPoint`] sampled via
+//!   [`crate::GpuContext::sample_counter`] (frontier size per round, …)
+//!   becomes a `"C"` event, and an `active_warps` counter is derived from
+//!   the block spans' begin/end edges — the live-occupancy sawtooth that
+//!   makes divergence tails visible at a glance.
+//!
+//! The export is plain arithmetic over the timeline's recorded values in a
+//! fixed order — same timeline ⇒ byte-identical JSON (asserted by the
+//! golden tests across runs and rayon pool sizes).
+
+use crate::timeline::Timeline;
+use serde::Value;
+
+/// Track-id stride separating residency slots of one SM: `tid = sm * 64 +
+/// slot`. 64 > [`crate::CostParams::max_blocks_per_sm`] on every modelled
+/// device, so slot tracks of adjacent SMs can't collide and sorting by tid
+/// groups each SM with its slots.
+const SLOT_STRIDE: u32 = 64;
+
+const GPU_PID: u64 = 0;
+const PCIE_PID: u64 = 1;
+
+impl Timeline {
+    /// Serializes the timeline as compact Chrome trace-event JSON (see the
+    /// module docs for the track layout).
+    pub fn to_chrome_json(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+
+        // ---- track metadata ------------------------------------------
+        events.push(meta_event(
+            "process_name",
+            GPU_PID,
+            None,
+            format!("GPU · {} SMs · {}", self.sm_count, self.label),
+        ));
+        events.push(meta_event("process_name", PCIE_PID, None, "PCIe".into()));
+        events.push(meta_event(
+            "thread_name",
+            PCIE_PID,
+            Some(0),
+            "Host ↔ Device".into(),
+        ));
+        // name only the (sm, slot) tracks that actually ran a block, in
+        // (sm, slot) order
+        let mut tids: Vec<(u32, u32)> = self.spans.iter().map(|s| (s.sm, s.slot)).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for (sm, slot) in tids {
+            let tid = (sm * SLOT_STRIDE + slot) as u64;
+            let name = if slot == 0 {
+                format!("SM {sm:02}")
+            } else {
+                format!("SM {sm:02} · slot {slot}")
+            };
+            events.push(meta_event("thread_name", GPU_PID, Some(tid), name));
+            events.push(obj(vec![
+                ("name", Value::Str("thread_sort_index".into())),
+                ("ph", Value::Str("M".into())),
+                ("pid", Value::UInt(GPU_PID)),
+                ("tid", Value::UInt(tid)),
+                ("args", obj(vec![("sort_index", Value::UInt(tid))])),
+            ]));
+        }
+
+        // ---- block spans ---------------------------------------------
+        for s in &self.spans {
+            events.push(obj(vec![
+                ("name", Value::Str(s.kernel.into())),
+                ("cat", Value::Str(s.phase.into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(s.start_ms * 1e3)),
+                ("dur", Value::Float((s.end_ms - s.start_ms) * 1e3)),
+                ("pid", Value::UInt(GPU_PID)),
+                ("tid", Value::UInt((s.sm * SLOT_STRIDE + s.slot) as u64)),
+                (
+                    "args",
+                    obj(vec![
+                        ("launch", Value::UInt(s.launch_seq as u64)),
+                        ("block", Value::UInt(s.block as u64)),
+                        ("warps", Value::UInt(s.warps as u64)),
+                    ]),
+                ),
+            ]));
+        }
+
+        // ---- PCIe transfer spans -------------------------------------
+        for t in &self.transfers {
+            events.push(obj(vec![
+                ("name", Value::Str(t.dir.into())),
+                ("cat", Value::Str(t.phase.into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(t.start_ms * 1e3)),
+                ("dur", Value::Float((t.end_ms - t.start_ms) * 1e3)),
+                ("pid", Value::UInt(PCIE_PID)),
+                ("tid", Value::UInt(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("seq", Value::UInt(t.seq as u64)),
+                        ("bytes", Value::UInt(t.bytes)),
+                    ]),
+                ),
+            ]));
+        }
+
+        // ---- counter tracks ------------------------------------------
+        for c in &self.counters {
+            events.push(counter_event(c.track, c.time_ms, c.value));
+        }
+        for (ts_ms, warps) in active_warps(self) {
+            events.push(counter_event("active_warps", ts_ms, warps as f64));
+        }
+
+        let doc = obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::Str("ms".into())),
+            (
+                "otherData",
+                obj(vec![
+                    ("schema_version", Value::UInt(self.schema_version as u64)),
+                    ("label", Value::Str(self.label.clone())),
+                    ("sm_count", Value::UInt(self.sm_count as u64)),
+                ]),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("timeline serializes")
+    }
+}
+
+/// The `active_warps` sawtooth: net resident warps after each distinct span
+/// edge, in timestamp order.
+fn active_warps(tl: &Timeline) -> Vec<(f64, i64)> {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(tl.spans.len() * 2);
+    for s in &tl.spans {
+        edges.push((s.start_ms, s.warps as i64));
+        edges.push((s.end_ms, -(s.warps as i64)));
+    }
+    // retire before dispatch at equal timestamps so back-to-back blocks on
+    // one slot don't double-count
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut out: Vec<(f64, i64)> = Vec::new();
+    let mut level = 0i64;
+    for (ts, delta) in edges {
+        level += delta;
+        match out.last_mut() {
+            Some(last) if last.0 == ts => last.1 = level,
+            _ => out.push((ts, level)),
+        }
+    }
+    out
+}
+
+fn counter_event(track: &str, ts_ms: f64, value: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(track.into())),
+        ("ph", Value::Str("C".into())),
+        ("ts", Value::Float(ts_ms * 1e3)),
+        ("pid", Value::UInt(GPU_PID)),
+        ("tid", Value::UInt(0)),
+        ("args", obj(vec![("value", Value::Float(value))])),
+    ])
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: String) -> Value {
+    let mut entries = vec![
+        ("name", Value::Str(name.into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        entries.push(("tid", Value::UInt(tid)));
+    }
+    entries.push(("args", obj(vec![("name", Value::Str(value))])));
+    obj(entries)
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::exec::{GpuContext, LaunchConfig};
+    use crate::CostParams;
+
+    fn ctx() -> GpuContext {
+        let mut c = GpuContext::new(CostParams::p100(), 1 << 20);
+        let buf = c.htod("x", &[0u32; 64]).unwrap();
+        let cfg = LaunchConfig {
+            blocks: 3,
+            threads_per_block: 64,
+        };
+        c.set_phase("Loop");
+        c.launch("loop", cfg, |blk| {
+            blk.charge_instr(50 * (blk.block_idx as u64 + 1));
+            Ok(())
+        })
+        .unwrap();
+        c.set_phase("Sync");
+        c.dtoh_word(buf, 0);
+        c.sample_counter("frontier", 7.0);
+        c
+    }
+
+    #[test]
+    fn export_contains_tracks_spans_and_counters() {
+        let json = ctx().timeline("rmat9/peel").to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // track naming
+        assert!(json.contains("\"GPU · 56 SMs · rmat9/peel\""));
+        assert!(json.contains("\"SM 00\""));
+        assert!(json.contains("\"SM 02\""));
+        assert!(json.contains("\"PCIe\""));
+        // block spans carry kernel name, phase category, and block args
+        assert!(json.contains("\"name\":\"loop\",\"cat\":\"Loop\",\"ph\":\"X\""));
+        assert!(json.contains("\"block\":2"));
+        // transfers and counter tracks
+        assert!(json.contains("\"name\":\"h2d\""));
+        assert!(json.contains("\"name\":\"d2h\""));
+        assert!(json.contains("\"name\":\"frontier\",\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"active_warps\",\"ph\":\"C\""));
+        // trailer
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.contains("\"schema_version\":2"));
+    }
+
+    #[test]
+    fn active_warps_rises_and_drains_to_zero() {
+        let tl = ctx().timeline("t");
+        let steps = super::active_warps(&tl);
+        assert!(!steps.is_empty());
+        // 3 blocks × 2 warps all start together at the window edge
+        assert_eq!(steps[0].1, 6);
+        // everything retires by the end
+        assert_eq!(steps.last().unwrap().1, 0);
+        // timestamps strictly increase after edge-merging
+        for w in steps.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_captures() {
+        let a = ctx().timeline("t").to_chrome_json();
+        let b = ctx().timeline("t").to_chrome_json();
+        assert_eq!(a, b);
+    }
+}

@@ -20,11 +20,28 @@
 
 use crate::cost::{Counters, Roofline, TransferDir, TransferRecord};
 use crate::exec::GpuContext;
+use crate::timeline::Hotspot;
 use serde::Serialize;
+
+/// Version of the trace/timeline serialization schema. Bumped whenever the
+/// shape of [`Trace`] (or the golden projection derived from it) changes, so
+/// dumps from different builds can't be compared as if they were alike:
+/// golden tests refuse mismatched versions instead of diffing garbage, and
+/// `results/traces/` dumps carry the version they were written with.
+///
+/// History: 1 = PR 1 launch/transfer/phase rollups; 2 = adds
+/// `schema_version`, per-kernel hotspot attribution, and event start
+/// timestamps (timeline support).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// Worst blocks kept per kernel in a trace's hotspot records.
+pub const HOTSPOT_TOP_K: usize = 5;
 
 /// A serializable profiling snapshot of one simulated run.
 #[derive(Debug, Clone, Serialize)]
 pub struct Trace {
+    /// Serialization schema version ([`TRACE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Caller-chosen run label (dataset, variant, …).
     pub label: String,
     /// Device constants and memory high-water mark.
@@ -33,6 +50,9 @@ pub struct Trace {
     pub totals: Totals,
     /// Per-phase rollups, in first-activation order.
     pub phases: Vec<PhaseSummary>,
+    /// Per-kernel cost attribution ([`crate::timeline::hotspots`]), in
+    /// first-launch order.
+    pub hotspots: Vec<Hotspot>,
     /// One event per kernel launch, in launch order.
     pub launches: Vec<LaunchEvent>,
     /// One event per host↔device copy, in issue order.
@@ -109,6 +129,8 @@ pub struct LaunchEvent {
     pub blocks: u32,
     /// Threads per block.
     pub threads_per_block: u32,
+    /// Sim-clock issue timestamp, ms.
+    pub start_ms: f64,
     /// Simulated duration, ms.
     pub time_ms: f64,
     /// Binding roofline term: `"launch"`, `"compute"`, or `"memory"`.
@@ -136,6 +158,8 @@ pub struct TransferEvent {
     pub dir: &'static str,
     /// Payload bytes.
     pub bytes: u64,
+    /// Sim-clock issue timestamp, ms.
+    pub start_ms: f64,
     /// Simulated duration, ms.
     pub time_ms: f64,
 }
@@ -192,7 +216,12 @@ impl GpuContext {
     /// The snapshot is cheap relative to a run (it clones records), can be
     /// taken mid-run, and contains only simulated quantities — capturing it
     /// twice from the same context yields identical traces.
-    pub fn trace(&self, label: impl Into<String>) -> Trace {
+    ///
+    /// Taking a snapshot **resets the active phase to `"main"`**: a trace
+    /// marks the end of a measured episode, so whatever label the episode
+    /// left active must not silently stick to the next episode's records
+    /// (back-to-back traces used to inherit stale phase labels).
+    pub fn trace(&mut self, label: impl Into<String>) -> Trace {
         let report = self.report();
         let launches: Vec<LaunchEvent> = self
             .launches()
@@ -204,6 +233,7 @@ impl GpuContext {
                 kernel: l.name,
                 blocks: l.config.blocks,
                 threads_per_block: l.config.threads_per_block,
+                start_ms: l.start_s * 1e3,
                 time_ms: l.time_s * 1e3,
                 bound: l.roofline.bound(),
                 roofline: l.roofline,
@@ -225,10 +255,13 @@ impl GpuContext {
                     TransferDir::DeviceToHost => "d2h",
                 },
                 bytes: t.bytes,
+                start_ms: t.start_s * 1e3,
                 time_ms: t.time_s * 1e3,
             })
             .collect();
+        self.set_phase("main");
         Trace {
+            schema_version: TRACE_SCHEMA_VERSION,
             label: label.into(),
             device: DeviceInfo {
                 sm_count: self.cost.sm_count,
@@ -246,6 +279,7 @@ impl GpuContext {
                 counters: report.counters,
             },
             phases: summarize_phases(self.launches(), self.transfers()),
+            hotspots: crate::timeline::hotspots(self.launches(), &self.cost, HOTSPOT_TOP_K),
             launches,
             transfers,
         }
@@ -334,7 +368,7 @@ mod tests {
 
     #[test]
     fn trace_groups_phases_in_first_seen_order() {
-        let c = traced_ctx();
+        let mut c = traced_ctx();
         let t = c.trace("unit");
         // the htod happened under the default "main" phase, which never
         // launches a kernel — transfer-only phases sort after launch phases
@@ -351,8 +385,9 @@ mod tests {
 
     #[test]
     fn trace_events_carry_roofline_and_blocks() {
-        let c = traced_ctx();
+        let mut c = traced_ctx();
         let t = c.trace("unit");
+        assert_eq!(t.schema_version, super::TRACE_SCHEMA_VERSION);
         assert_eq!(t.launches.len(), 3);
         assert_eq!(t.transfers.len(), 3); // 1 htod + 2 dtoh_word
         let ev = &t.launches[0];
@@ -416,13 +451,66 @@ mod tests {
 
     #[test]
     fn trace_serializes_to_json() {
-        let c = traced_ctx();
+        let mut c = traced_ctx();
         let json = c.trace("unit").to_json();
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"phase\": \"Scan\""));
         assert!(json.contains("\"bound\""));
         assert!(json.contains("\"block_counters\""));
+        assert!(json.contains("\"hotspots\""));
         // capturing twice yields byte-identical JSON (simulated time only)
         assert_eq!(json, c.trace("unit").to_json());
+    }
+
+    #[test]
+    fn trace_carries_launch_and_transfer_start_timestamps() {
+        let mut c = traced_ctx();
+        let t = c.trace("unit");
+        // events are recorded in clock order: starts never decrease and each
+        // launch begins exactly where the preceding activity left off
+        assert_eq!(t.transfers[0].start_ms, 0.0);
+        assert!((t.launches[0].start_ms - t.transfers[0].time_ms).abs() < 1e-12);
+        for w in t.launches.windows(2) {
+            assert!(w[1].start_ms >= w[0].start_ms + w[0].time_ms - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_summarizes_hotspots_per_kernel() {
+        let mut c = traced_ctx();
+        let t = c.trace("unit");
+        let names: Vec<&str> = t.hotspots.iter().map(|h| h.kernel).collect();
+        assert_eq!(names, ["scan", "loop"]);
+        assert_eq!(t.hotspots[1].launches, 2);
+        // attribution tiles each kernel's total time
+        for h in &t.hotspots {
+            let sum = h.launch_overhead_ms
+                + h.divergence_ms
+                + h.mem_stall_ms
+                + h.atomics_ms
+                + h.uncoalesced_ms
+                + h.coalesced_ms
+                + h.shared_ms
+                + h.instr_ms
+                + h.barrier_ms;
+            assert!((sum - h.total_ms).abs() < 1e-9 * h.total_ms.max(1.0));
+        }
+    }
+
+    #[test]
+    fn snapshot_resets_sticky_phase_label() {
+        let mut c = traced_ctx();
+        assert_eq!(c.phase(), "Loop"); // left sticky by the last episode
+        let _ = c.trace("episode 1");
+        assert_eq!(c.phase(), "main");
+        // records from the next episode don't inherit the stale label
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 32,
+        };
+        c.launch("next", cfg, |_| Ok(())).unwrap();
+        let t = c.trace("episode 2");
+        assert_eq!(t.launches.last().unwrap().phase, "main");
     }
 }

@@ -139,6 +139,9 @@ pub fn peel_in(
             ctx.add_overhead_s(costs.gswitch_subiter_s)?;
             ctx.set_phase("Sync");
             let processed = ctx.dtoh_word(d_len, 0);
+            // Observability: vertices this sweep peeled (free — charges
+            // nothing).
+            ctx.sample_counter("frontier", processed as f64);
             if processed == 0 {
                 break;
             }

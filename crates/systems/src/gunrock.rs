@@ -87,6 +87,8 @@ pub fn peel_in(
         })?;
         ctx.set_phase("Sync");
         let mut flen = ctx.dtoh_word(d_len, 0) as u64;
+        // Observability: post-filter frontier length (free — charges nothing).
+        ctx.sample_counter("frontier", flen as f64);
         ctx.add_overhead_s(costs.gunrock_subiter_s)?;
 
         let mut bufs = [d_f_in, d_f_out];
@@ -158,6 +160,7 @@ pub fn peel_in(
             })?;
             ctx.set_phase("Sync");
             let out_len = ctx.dtoh_word(d_len, 0) as u64;
+            ctx.sample_counter("frontier", out_len as f64);
             // Filter: compaction/validation pass over the output frontier.
             if out_len > 0 {
                 ctx.set_phase("Filter");

@@ -227,6 +227,8 @@ pub fn mpm_in(
 
         ctx.set_phase("Sync");
         let changed = ctx.dtoh_word(dev.d_flag, 0);
+        // Observability: estimates that moved this superstep (free).
+        ctx.sample_counter("changed", changed as f64);
         bufs.swap(0, 1);
         if changed == 0 {
             break;
@@ -356,6 +358,8 @@ pub fn peel_in(
 
             ctx.set_phase("Sync");
             let deleted_now = ctx.dtoh_word(dev.d_flag, 0) as u64;
+            // Observability: vertices deleted this superstep (free).
+            ctx.sample_counter("frontier", deleted_now as f64);
             total_deleted += deleted_now;
             if deleted_now == 0 {
                 break;

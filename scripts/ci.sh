@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== bench regression gate =="
+KCORE_SMOKE=1 KCORE_DATASETS=amazon0601,wiki-Talk scripts/check_regression.sh
+
 echo "== ci.sh: all green =="

@@ -22,4 +22,7 @@ done
 echo "== criterion micro-benchmarks =="
 cargo bench -p kcore-bench
 
+echo "== bench snapshot (BENCH_<n>.json) =="
+./target/release/record_bench || echo "record_bench flagged regressions (see above)"
+
 echo "done — see results/ and EXPERIMENTS.md"
