@@ -13,11 +13,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kcore_cpu::CoreAlgorithm;
-use kcore_gpu::{decompose, PeelConfig, SimOptions};
-use kcore_gpusim::scan::{ballot_scan, blelloch_exclusive_scan, hs_inclusive_scan};
-use kcore_gpusim::{CostParams, GpuContext, LaunchConfig};
+use kcore_gpu::{decompose, ExecPath, PeelConfig, SimOptions};
+use kcore_gpusim::scan::{
+    ballot_scan, ballot_scan_offsets, blelloch_exclusive_scan, hs_inclusive_scan,
+};
+use kcore_gpusim::warp::WARP_SIZE;
+use kcore_gpusim::{Coalescing, CostParams, GpuContext, LaunchConfig};
 use kcore_graph::gen;
 use std::hint::black_box;
+use std::sync::atomic::Ordering;
 
 fn bench_warp_scans(c: &mut Criterion) {
     let mut group = c.benchmark_group("warp_scan");
@@ -78,6 +82,142 @@ fn bench_warp_scans(c: &mut Criterion) {
             .unwrap();
         })
     });
+    group.bench_function("ballot_offsets", |b| {
+        let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+        b.iter(|| {
+            ctx.launch(
+                "bo",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    let (off, total) = ballot_scan_offsets(blk, black_box(u32::MAX));
+                    black_box((off, total));
+                    Ok(())
+                },
+            )
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+/// Per-lane charged loads vs the warp-granularity [`kcore_gpusim::BlockCtx`]
+/// helpers — the tentpole fast-path primitive, measured in isolation.
+fn bench_warp_memops(c: &mut Criterion) {
+    const N: usize = 4_096;
+    let data: Vec<u32> = (0..N as u32).collect();
+    let idxs: Vec<usize> = (0..N).map(|i| (i * 37) % N).collect();
+    let mut group = c.benchmark_group("warp_memops");
+    group.bench_function("per_lane_gather", |b| {
+        let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+        let d_buf = ctx.htod("bench.buf", &data).unwrap();
+        b.iter(|| {
+            ctx.launch(
+                "pl",
+                LaunchConfig {
+                    blocks: 1,
+                    threads_per_block: 32,
+                },
+                |blk| {
+                    let buf = blk.device.buffer(d_buf);
+                    let mut sum = 0u64;
+                    for &i in black_box(&idxs) {
+                        blk.charge_sector(1);
+                        sum += buf[i].load(Ordering::Relaxed) as u64;
+                    }
+                    black_box(sum);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        })
+    });
+    for (name, mode) in [
+        ("warp_gather_scattered", Coalescing::Scattered),
+        ("warp_gather_classified", Coalescing::Classified),
+    ] {
+        group.bench_function(name, |b| {
+            let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+            let d_buf = ctx.htod("bench.buf", &data).unwrap();
+            b.iter(|| {
+                ctx.launch(
+                    "wg",
+                    LaunchConfig {
+                        blocks: 1,
+                        threads_per_block: 32,
+                    },
+                    |blk| {
+                        let buf = blk.device.buffer(d_buf);
+                        let mut sum = 0u64;
+                        let mut vals = [0u32; WARP_SIZE];
+                        for chunk in black_box(&idxs).chunks(WARP_SIZE) {
+                            blk.gather(buf, chunk, &mut vals[..chunk.len()], mode);
+                            sum += vals[..chunk.len()].iter().map(|&v| v as u64).sum::<u64>();
+                        }
+                        black_box(sum);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pure kernel-dispatch overhead of [`GpuContext::launch`] (no body work):
+/// the serial fast path at pool size 1, the rayon path otherwise.
+fn bench_launch_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launch_dispatch");
+    for blocks in [1u32, 16, 108] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                let mut ctx = GpuContext::new(CostParams::p100(), 1 << 16);
+                b.iter(|| {
+                    ctx.launch(
+                        "noop",
+                        LaunchConfig {
+                            blocks,
+                            threads_per_block: 128,
+                        },
+                        |blk| {
+                            black_box(blk.block_idx);
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end `launch_stepped` wave loop: the warp-vectorized fast path
+/// (two-phase scheduler) against the retained per-lane reference.
+fn bench_exec_paths(c: &mut Criterion) {
+    let g = gen::rmat(12, 20_000, gen::RmatParams::graph500(), 7);
+    let base = PeelConfig {
+        launch: LaunchConfig {
+            blocks: 16,
+            threads_per_block: 256,
+        },
+        buf_capacity: 16_384,
+        shared_buf_capacity: 512,
+        ..PeelConfig::default()
+    };
+    let mut group = c.benchmark_group("exec_path_rmat12");
+    group.sample_size(10);
+    for (name, path) in [("fast", ExecPath::Fast), ("reference", ExecPath::Reference)] {
+        let cfg = base.with_exec_path(path);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(decompose(&g, &cfg, &SimOptions::default()).unwrap()))
+        });
+    }
     group.finish();
 }
 
@@ -153,6 +293,9 @@ fn bench_graph_builder(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_warp_scans,
+    bench_warp_memops,
+    bench_launch_dispatch,
+    bench_exec_paths,
     bench_hindex,
     bench_cpu_algorithms,
     bench_gpu_variants,

@@ -2,7 +2,8 @@
 //! category for each of the 20 stand-ins, next to the paper's published
 //! values so the shape match is visible at a glance.
 
-use kcore_bench::{prepare_all, print_table, save_json};
+use kcore_bench::{prepare, prepare_all, print_table, save_json};
+use kcore_graph::datasets;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,7 +23,13 @@ struct Row {
 }
 
 fn main() {
-    let envs = prepare_all();
+    let mut envs = prepare_all();
+    // Higher-fidelity @2x rows for the coarsest mid-size stand-ins (new
+    // rows — the base entries above are unchanged). Skipped in smoke mode
+    // and under an explicit dataset filter.
+    if std::env::var_os("KCORE_SMOKE").is_none() && std::env::var_os("KCORE_DATASETS").is_none() {
+        envs.extend(datasets::scaled_up_variants().into_iter().map(prepare));
+    }
     let headers: Vec<String> = [
         "Dataset",
         "|V|",

@@ -38,6 +38,23 @@ pub enum Buffering {
     Prefetch,
 }
 
+/// Which host-side execution strategy runs the kernels. Both paths produce
+/// **bit-identical** results, counters, and golden fingerprints — the fast
+/// path changes how costs are computed, never what they sum to (the
+/// invariant is pinned by `tests/fastpath_diff.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Warp-vectorized kernels: bulk per-warp charging, allocation-free
+    /// scan/ballot primitives, and the two-phase parallel wave scheduler
+    /// ([`kcore_gpusim::GpuContext::launch_stepped_phased`]) for the loop
+    /// kernel. The default.
+    #[default]
+    Fast,
+    /// The retained per-lane reference kernels: per-access charging and the
+    /// serial lockstep wave loop. Kept as the differential-testing oracle.
+    Reference,
+}
+
 /// Full configuration of a peeling run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeelConfig {
@@ -56,6 +73,8 @@ pub struct PeelConfig {
     /// recycled; disabling reverts to the plain fixed array that overflows
     /// once `e` reaches capacity.
     pub ring_buffer: bool,
+    /// Host execution strategy (cost-model-neutral; see [`ExecPath`]).
+    pub exec_path: ExecPath,
 }
 
 impl Default for PeelConfig {
@@ -67,6 +86,7 @@ impl Default for PeelConfig {
             compaction: Compaction::None,
             buffering: Buffering::Global,
             ring_buffer: true,
+            exec_path: ExecPath::Fast,
         }
     }
 }
@@ -130,6 +150,12 @@ impl PeelConfig {
     /// Overrides grid geometry.
     pub fn with_launch(mut self, launch: LaunchConfig) -> Self {
         self.launch = launch;
+        self
+    }
+
+    /// Selects the host execution strategy (builder style).
+    pub fn with_exec_path(mut self, path: ExecPath) -> Self {
+        self.exec_path = path;
         self
     }
 

@@ -48,7 +48,7 @@ pub mod mpm_gpu;
 pub mod multi_gpu;
 pub mod peel;
 
-pub use config::{Buffering, Compaction, PeelConfig};
+pub use config::{Buffering, Compaction, ExecPath, PeelConfig};
 pub use kcore_gpusim::SimOptions;
 pub use multi_gpu::{decompose_multi, MultiGpuConfig, MultiGpuRun};
 pub use peel::{decompose, decompose_in, GpuRun};

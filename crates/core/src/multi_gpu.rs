@@ -146,6 +146,14 @@ pub fn decompose_multi(
     let mut k = 0u32;
     let mut rounds = 0u32;
 
+    // Ghost decrement accumulator, hoisted across sub-rounds (arena-style:
+    // a fresh `vec![0; n]` per sub-round dominated the host loop's
+    // allocation churn on cascade-heavy graphs). `ghost_touched` records the
+    // nonzero entries so each exchange resets in O(touched), not O(n).
+    let mut ghost_cnt: Vec<u32> = vec![0; n];
+    let mut ghost_touched: Vec<u32> = Vec::new();
+    let mut updates: Vec<(u32, u32)> = Vec::new();
+
     while remaining > 0 {
         rounds += 1;
         // Seed each worker with its own degree-k vertices (the scan phase).
@@ -178,8 +186,6 @@ pub fn decompose_multi(
         loop {
             sub_rounds += 1;
             let mut any_seeds = false;
-            // ghost decrement accumulator: (owner range) counts
-            let mut ghost_cnt: Vec<u32> = vec![0; n];
             let mut loop_ms = 0.0f64;
 
             for w in workers.iter_mut() {
@@ -210,6 +216,9 @@ pub fn decompose_multi(
                             }
                         } else {
                             // ghost: defer to the owner via the master
+                            if ghost_cnt[u as usize] == 0 {
+                                ghost_touched.push(u);
+                            }
                             ghost_cnt[u as usize] += 1;
                         }
                     }
@@ -240,11 +249,15 @@ pub fn decompose_multi(
             }
 
             // ---- border exchange through the master -----------------------
-            let updates: Vec<(u32, u32)> = ghost_cnt
-                .iter()
-                .enumerate()
-                .filter_map(|(v, &c)| (c > 0).then_some((v as u32, c)))
-                .collect();
+            // Drain the accumulator into `updates` (sorted, matching the
+            // former full-array sweep) and re-zero only the touched slots.
+            ghost_touched.sort_unstable();
+            updates.clear();
+            for &v in &ghost_touched {
+                updates.push((v, ghost_cnt[v as usize]));
+                ghost_cnt[v as usize] = 0;
+            }
+            ghost_touched.clear();
             if !updates.is_empty() {
                 // each update is (vertex, count): 8 bytes, shipped worker →
                 // master → owner (two hops, as the paper sketches).

@@ -13,13 +13,15 @@
 //!   (Fig. 6, Cases 1–3);
 //! * termination via the device counter `gpu_count` read back each round.
 
-use crate::config::{Buffering, Compaction, PeelConfig};
-use kcore_gpusim::scan::{ballot_scan, block_two_stage_scan};
+use crate::config::{Buffering, Compaction, ExecPath, PeelConfig};
+use kcore_gpusim::scan::{
+    ballot_scan, ballot_scan_offsets, block_two_stage_scan, block_two_stage_scan_into,
+};
 use kcore_gpusim::{
     BlockCtx, BufferId, GpuContext, KernelError, SharedArray, SimError, SimOptions, SimReport,
 };
 use kcore_graph::Csr;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of a GPU decomposition run.
 #[derive(Debug, Clone)]
@@ -107,18 +109,32 @@ pub fn decompose_in(
     let mut rounds = 0u32;
     while (count as usize) < n {
         ctx.set_phase("Scan");
-        ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?;
+        match cfg.exec_path {
+            ExecPath::Fast => ctx.launch("scan", cfg.launch, |blk| scan_kernel_fast(blk, k, &p))?,
+            ExecPath::Reference => ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?,
+        }
         // The loop kernel's blocks interact through `deg[]` while running
         // (cascading k-shell discovery), so it uses the lockstep stepped
         // launch: every wave advances each live block by one
         // barrier-delimited iteration, matching concurrent hardware blocks.
+        // The fast path splits each iteration into a parallel plan and a
+        // wave-ordered commit — bit-identical traces either way.
         ctx.set_phase("Loop");
-        ctx.launch_stepped(
-            "loop",
-            cfg.launch,
-            |blk| loop_init(blk, &p),
-            |blk, st| loop_step(blk, st, k, &p),
-        )?;
+        match cfg.exec_path {
+            ExecPath::Fast => ctx.launch_stepped_phased(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_plan(blk, st, &p),
+                |blk, st, plan| loop_commit(blk, st, plan, k, &p),
+            )?,
+            ExecPath::Reference => ctx.launch_stepped(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_step(blk, st, k, &p),
+            )?,
+        }
         // Algorithm 1 line 8: the synchronizing gpu_count readback.
         ctx.set_phase("Sync");
         let prev = count;
@@ -404,6 +420,123 @@ fn scan_kernel(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), Ke
     Ok(())
 }
 
+/// Warp-vectorized [`scan_kernel`]: identical semantics, counters, and error
+/// behavior, with the per-lane plumbing hoisted out of the hot loops — the
+/// shared tail lives in a local mirror, ballot predicates stay packed as a
+/// mask ([`ballot_scan_offsets`]), and the EC scratch buffers are allocated
+/// once per kernel instead of once per chunk
+/// ([`block_two_stage_scan_into`]). `tests/fastpath_diff.rs` pins the
+/// equivalence against the reference.
+fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), KernelError> {
+    let dev = blk.device;
+    let deg = dev.buffer(p.d_deg);
+    let b = blk.block_idx as usize;
+    let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
+
+    let e_arr = blk.shared_alloc(1)?;
+    blk.sh_write(e_arr, 0, 0);
+    blk.sync_threads();
+
+    let blk_dim = blk.cfg.threads_per_block as usize;
+    let num_threads = blk.cfg.num_threads() as usize;
+    // Local mirror of the shared tail, poked back before the epilogue read;
+    // every shared-atomic charge still lands per append.
+    let mut e_local = 0u64;
+    // EC scratch, reused across chunks.
+    let (mut values, mut offs) = if p.cfg.compaction == Compaction::Efficient {
+        (vec![0u32; blk_dim], vec![0u32; blk_dim])
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let overflow = |b: usize| KernelError::BufferOverflow {
+        what: format!("block {b}: scan filled buffer (capacity {})", p.cap),
+    };
+    let mut chunk = b * blk_dim;
+    while chunk < p.n {
+        let lo = chunk;
+        let hi = (chunk + blk_dim).min(p.n);
+        let words = (hi - lo) as u64;
+        blk.charge_tx(BlockCtx::coalesced_tx(words));
+        blk.charge_instr(words.div_ceil(32));
+
+        match p.cfg.compaction {
+            Compaction::None => {
+                for v in lo..hi {
+                    if deg[v].load(Ordering::Relaxed) == k {
+                        blk.counters.shared_atomics += 1; // atomicAdd(e, 1)
+                        let pos = e_local;
+                        e_local += 1;
+                        if pos >= p.cap as u64 {
+                            return Err(overflow(b));
+                        }
+                        bufb[pos as usize].store(v as u32, Ordering::Relaxed);
+                        blk.charge_sector(1);
+                    }
+                }
+            }
+            Compaction::Ballot => {
+                for wstart in (lo..hi).step_by(32) {
+                    let wend = (wstart + 32).min(hi);
+                    blk.counters.shared_accesses += 3 * (wend - wstart) as u64;
+                    let mut bits = 0u32;
+                    for (i, v) in (wstart..wend).enumerate() {
+                        if deg[v].load(Ordering::Relaxed) == k {
+                            bits |= 1 << i;
+                        }
+                    }
+                    let (offsets, total) = ballot_scan_offsets(blk, bits);
+                    if total == 0 {
+                        continue;
+                    }
+                    blk.counters.shared_atomics += 1; // atomicAdd(e, total)
+                    let base = e_local;
+                    e_local += total as u64;
+                    if e_local > p.cap as u64 {
+                        return Err(overflow(b));
+                    }
+                    blk.charge_tx(BlockCtx::coalesced_tx(total as u64));
+                    for (i, v) in (wstart..wend).enumerate() {
+                        if bits >> i & 1 == 1 {
+                            bufb[(base + offsets[i] as u64) as usize]
+                                .store(v as u32, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Compaction::Efficient => {
+                for (i, v) in (lo..hi).enumerate() {
+                    values[i] = (deg[v].load(Ordering::Relaxed) == k) as u32;
+                }
+                values[(hi - lo)..].fill(0);
+                blk.counters.shared_accesses += 3 * (hi - lo) as u64;
+                let total = block_two_stage_scan_into(blk, &values, &mut offs);
+                if total > 0 {
+                    blk.counters.shared_atomics += 1; // atomicAdd(e, total)
+                    let base = e_local;
+                    e_local += total as u64;
+                    if e_local > p.cap as u64 {
+                        return Err(overflow(b));
+                    }
+                    blk.charge_tx(BlockCtx::coalesced_tx(total as u64));
+                    for i in 0..(hi - lo) {
+                        if values[i] == 1 {
+                            bufb[(base + offs[i] as u64) as usize]
+                                .store((lo + i) as u32, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        chunk += num_threads;
+    }
+
+    blk.sh_poke(e_arr, 0, e_local as u32);
+    blk.sync_threads();
+    let e = blk.sh_read(e_arr, 0);
+    blk.gwrite(&dev.buffer(p.d_buf_e)[b], e);
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Loop kernel (Algorithm 3)
 // ---------------------------------------------------------------------------
@@ -415,6 +548,9 @@ struct LoopState {
     warp_compact: bool,
     warps: u64,
     compute_warps: u64,
+    /// Fast-path plan scratch, reused across waves: this wave's frontier
+    /// entries as `(v, pos_s, pos_e)`.
+    planned: Vec<(u32, u32, u32)>,
 }
 
 /// Lines 1–2 of Algorithm 3: per-block setup (shared s/e, optional SM
@@ -459,6 +595,7 @@ fn loop_init<'a>(blk: &mut BlockCtx<'a>, p: &KParams<'_>) -> Result<LoopState, K
         warp_compact: p.cfg.compaction != Compaction::None,
         warps,
         compute_warps,
+        planned: Vec::new(),
     })
 }
 
@@ -492,10 +629,8 @@ fn loop_step(
     }
     let e_snap = e; // line 6: e' backed up per warp
     let batch = st.compute_warps.min(e_snap - s);
-    // Line 7: barrier before s is advanced; lines 9-10: thread 0 (or
-    // warp 0 under VP) advances s.
+    // Line 7: barrier before the batch is claimed.
     blk.sync_threads();
-    blk.sh_write(se, 0, (s + batch) as u32);
     blk.charge_instr(st.warps); // per-warp control flow for this iteration
 
     if st.prefetch {
@@ -525,6 +660,13 @@ fn loop_step(
             st.warp_compact,
         )?;
     }
+    // Lines 9–10: thread 0 (or warp 0 under VP) advances s — at the *end*
+    // of the iteration, so the ring-buffer outstanding check inside
+    // `append_batch` measures from the floor of the batch still being
+    // consumed. (Advancing s up front would let a same-iteration append
+    // recycle a slot whose entry this iteration has not read yet; the
+    // charge is one shared write either way.)
+    blk.sh_write(se, 0, (s + batch) as u32);
     Ok(true)
 }
 
@@ -600,6 +742,269 @@ fn process_vertex(
             for (lane, &f) in flags[..(cend - chunk)].iter().enumerate() {
                 if f {
                     bc.append_one(blk, bufb, vals[lane])?;
+                }
+            }
+        }
+        chunk = cend;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: the loop kernel split into a parallel plan + wave-ordered commit
+// ---------------------------------------------------------------------------
+//
+// `launch_stepped_phased` runs every live block's *plan* on the rayon pool,
+// then *commits* serially in the exact xorshift wave order. The split obeys
+// the determinism contract (DESIGN.md "Fast-path cost accounting"):
+//
+// * plan touches only launch-immutable device buffers (`offset`), the
+//   block's own private buffer region (`buf[b]` positions below this wave's
+//   floor `s`, written by earlier waves), and the block's own shared state;
+// * every access to device memory mutated during the launch (`deg`,
+//   appends into `buf[b]`, `gpu_count`) happens in commit, in wave order —
+//   so the cross-block interleaving, and with it every counter and result,
+//   is identical to the serial reference wave loop.
+
+/// The per-wave handoff from [`loop_plan`] to [`loop_commit`]. The planned
+/// frontier entries themselves ride in `LoopState::planned`.
+enum LoopPlan {
+    /// The buffer drained: commit adds `e_final` to `gpu_count` and retires.
+    Retire { e_final: u32 },
+    /// Consume `batch` entries starting at floor `s`.
+    Batch { s: u64, batch: u64 },
+}
+
+/// Plan phase of one loop-kernel iteration: lines 3–12 of Algorithm 3 minus
+/// any mutable-device access — reads this wave's frontier slice and each
+/// vertex's adjacency range, charging exactly what the reference charges for
+/// the same lines.
+fn loop_plan(
+    blk: &mut BlockCtx<'_>,
+    st: &mut LoopState,
+    p: &KParams<'_>,
+) -> Result<LoopPlan, KernelError> {
+    let dev = blk.device;
+    let offsets = dev.buffer(p.d_offsets);
+    let b = blk.block_idx as usize;
+    let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
+    let se = st.bc.se;
+
+    // Line 4: __syncthreads, consistent view of s and e.
+    blk.sync_threads();
+    let s = blk.sh_read(se, 0) as u64;
+    let e = blk.sh_read(se, 1) as u64;
+    if s == e {
+        // Line 5 break; the line-26 gpu_count add is commit's.
+        blk.sync_threads();
+        let e_final = blk.sh_read(se, 1);
+        return Ok(LoopPlan::Retire { e_final });
+    }
+    let batch = st.compute_warps.min(e - s);
+    // Line 7 barrier.
+    blk.sync_threads();
+    blk.charge_instr(st.warps); // per-warp control flow for this iteration
+
+    if st.prefetch {
+        blk.charge_tx(BlockCtx::coalesced_tx(batch));
+        blk.counters.shared_accesses += batch;
+        blk.charge_instr(3);
+        blk.sync_warp();
+    }
+
+    st.planned.clear();
+    for w in 0..batch {
+        // Line 12: v ← buf[i][s'] — positions below the floor, written by
+        // earlier (already committed) waves.
+        let v = st.bc.read(blk, bufb, s + w, st.prefetch)?;
+        // Line 13: pos_s, pos_e — adjacent words of the immutable offset
+        // array, one sector.
+        blk.charge_sector(1);
+        let ps = offsets[v as usize].load(Ordering::Relaxed);
+        let pe = offsets[v as usize + 1].load(Ordering::Relaxed);
+        st.planned.push((v, ps, pe));
+    }
+    Ok(LoopPlan::Batch { s, batch })
+}
+
+/// Commit phase: lines 13–26 of Algorithm 3 — all `deg[]` traffic, all
+/// appends, the retirement `gpu_count` add, and the end-of-iteration
+/// s-advance. Runs serially in wave order on the exclusive lane.
+fn loop_commit(
+    blk: &mut BlockCtx<'_>,
+    st: &mut LoopState,
+    plan: LoopPlan,
+    k: u32,
+    p: &KParams<'_>,
+) -> Result<bool, KernelError> {
+    let dev = blk.device;
+    let deg = dev.buffer(p.d_deg);
+    let neighbors = dev.buffer(p.d_neighbors);
+    let b = blk.block_idx as usize;
+    let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
+    let se = st.bc.se;
+
+    let (s, batch) = match plan {
+        LoopPlan::Retire { e_final } => {
+            blk.atomic_add(&dev.buffer(p.d_count)[0], e_final);
+            return Ok(false);
+        }
+        LoopPlan::Batch { s, batch } => (s, batch),
+    };
+
+    // Local mirror of the shared e tail: appends advance it here and the
+    // epilogue pokes it back; the per-append shared-atomic charges land in
+    // `append_fast`.
+    let mut ap = Appender {
+        e: blk.sh_peek(se, 1) as u64,
+        s_floor: s,
+    };
+    for i in 0..st.planned.len() {
+        let (_, ps, pe) = st.planned[i];
+        process_vertex_fast(
+            blk,
+            &st.bc,
+            st.warp_compact,
+            &mut ap,
+            bufb,
+            deg,
+            neighbors,
+            ps as usize,
+            pe as usize,
+            k,
+        )?;
+    }
+    blk.sh_poke(se, 1, ap.e as u32);
+    // Lines 9–10, at the iteration end (see loop_step for why).
+    blk.sh_write(se, 0, (s + batch) as u32);
+    Ok(true)
+}
+
+/// Commit-side mirror of the shared `[s, e]` buffer tail, so the hot append
+/// path skips the shared-memory plumbing while charging exactly what
+/// [`BufCtx::append_batch`] charges.
+struct Appender {
+    e: u64,
+    s_floor: u64,
+}
+
+/// Fast-path twin of [`BufCtx::append_batch`]: identical charges, identical
+/// overflow error, with `s`/`e` kept in [`Appender`] locals.
+fn append_fast(
+    bc: &BufCtx,
+    ap: &mut Appender,
+    blk: &mut BlockCtx<'_>,
+    bufb: &[AtomicU32],
+    vals: &[u32],
+    batched_tx: bool,
+) -> Result<(), KernelError> {
+    if vals.is_empty() {
+        return Ok(());
+    }
+    let m = vals.len() as u64;
+    blk.counters.shared_atomics += 1; // the warp's atomicAdd(e, m)
+    let base = ap.e;
+    ap.e += m;
+    blk.counters.shared_accesses += 1; // the outstanding-check read of s
+    let outstanding = ap.e - ap.s_floor;
+    if outstanding > bc.cap + bc.n_b() {
+        return Err(KernelError::BufferOverflow {
+            what: format!(
+                "block {}: {} outstanding frontier entries exceed capacity {}",
+                blk.block_idx,
+                outstanding,
+                bc.cap + bc.n_b()
+            ),
+        });
+    }
+    let mut global_words = 0u64;
+    for (j, &v) in vals.iter().enumerate() {
+        if bc.sm_buf.is_some() {
+            blk.charge_instr(2); // translation case check per write
+        }
+        match translate(base + j as u64, bc.e_init, bc.n_b(), bc.cap, bc.ring)? {
+            Slot::Shared(i) => blk.sh_write(bc.sm_buf.unwrap(), i, v),
+            Slot::Global(i) => {
+                bufb[i].store(v, Ordering::Relaxed);
+                if batched_tx {
+                    global_words += 1;
+                } else {
+                    blk.charge_sector(1);
+                }
+            }
+        }
+    }
+    if batched_tx && global_words > 0 {
+        blk.charge_tx(BlockCtx::coalesced_tx(global_words));
+    }
+    Ok(())
+}
+
+/// Commit-side twin of [`process_vertex`]: per-lane probes and decrements
+/// become one pass with bulk counter updates; ballot predicates stay packed
+/// as a mask. The recover branch (line 24) cannot fire on the exclusive
+/// commit lane — `deg[u]` cannot change between the probe and the decrement
+/// — matching the reference wave loop, where it also never executes.
+#[allow(clippy::too_many_arguments)]
+fn process_vertex_fast(
+    blk: &mut BlockCtx<'_>,
+    bc: &BufCtx,
+    warp_compact: bool,
+    ap: &mut Appender,
+    bufb: &[AtomicU32],
+    deg: &[AtomicU32],
+    neighbors: &[AtomicU32],
+    ps: usize,
+    pe: usize,
+    k: u32,
+) -> Result<(), KernelError> {
+    let mut chunk = ps;
+    while chunk < pe {
+        let cend = (chunk + 32).min(pe);
+        let cnt = (cend - chunk) as u64;
+        blk.sync_warp(); // line 15
+        blk.charge_tx(BlockCtx::coalesced_tx(cnt)); // line 19 neighbor read
+        blk.charge_instr(2); // lines 16-18 bounds/index math (full warp)
+
+        // Line 20's random-access deg probes, charged once per chunk; the
+        // line-21 decrements counted and added in one update.
+        blk.charge_sector(cnt);
+        let mut bits = 0u32;
+        let mut vals = [0u32; 32];
+        let mut decs = 0u64;
+        for (lane, idx) in (chunk..cend).enumerate() {
+            let u = neighbors[idx].load(Ordering::Relaxed) as usize;
+            let old = deg[u].load(Ordering::Relaxed);
+            if old > k {
+                deg[u].store(old - 1, Ordering::Relaxed);
+                decs += 1;
+                if old == k + 1 {
+                    bits |= 1 << lane;
+                    vals[lane] = u as u32;
+                }
+            }
+        }
+        blk.counters.global_atomics += decs;
+
+        if warp_compact {
+            blk.counters.shared_accesses += 3 * cnt;
+            let (offs, total) = ballot_scan_offsets(blk, bits);
+            if total > 0 {
+                let mut batch = [0u32; 32];
+                let mut m = 0usize;
+                for lane in 0..(cend - chunk) {
+                    if bits >> lane & 1 == 1 {
+                        debug_assert_eq!(offs[lane] as usize, m);
+                        batch[m] = vals[lane];
+                        m += 1;
+                    }
+                }
+                append_fast(bc, ap, blk, bufb, &batch[..m], true)?;
+            }
+        } else if bits != 0 {
+            for lane in 0..(cend - chunk) {
+                if bits >> lane & 1 == 1 {
+                    append_fast(bc, ap, blk, bufb, &[vals[lane]], false)?;
                 }
             }
         }

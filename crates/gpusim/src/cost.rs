@@ -22,6 +22,8 @@
 
 use crate::exec::LaunchConfig;
 use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Per-block event counters accumulated by kernels.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -260,19 +262,19 @@ pub fn schedule_blocks(block_cycles: &[f64], sm_count: u32, occupancy: u32) -> V
     let occ = occupancy.max(1) as usize;
     // context index = slot * sms + sm, so the tie-break "lowest context
     // index" fills slot 0 of every SM before any SM hosts a second block.
-    let mut free_at = vec![0.0f64; sms * occ];
+    // A min-heap keyed (free_at, ctx) pops exactly the lexicographic
+    // minimum the old linear min-scan selected, so assignments — and the
+    // float addition order behind every timestamp — are bit-identical,
+    // in O(blocks log contexts) instead of O(blocks · contexts).
+    let mut heap: BinaryHeap<Reverse<SlotKey>> =
+        (0..sms * occ).map(|i| Reverse(SlotKey(0.0, i))).collect();
     block_cycles
         .iter()
         .enumerate()
         .map(|(b, &cycles)| {
-            let (ctx_idx, _) = free_at
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-                .unwrap();
-            let start = free_at[ctx_idx];
+            let Reverse(SlotKey(start, ctx_idx)) = heap.pop().unwrap();
             let end = start + cycles;
-            free_at[ctx_idx] = end;
+            heap.push(Reverse(SlotKey(end, ctx_idx)));
             BlockSchedule {
                 block: b as u32,
                 sm: (ctx_idx % sms) as u32,
@@ -284,21 +286,49 @@ pub fn schedule_blocks(block_cycles: &[f64], sm_count: u32, occupancy: u32) -> V
         .collect()
 }
 
+/// Heap key for the greedy schedulers: least load first, ties broken by
+/// lowest machine/context index — the order the old linear `min_by` scans
+/// established. Loads are finite sums of non-negative cycles, so the
+/// `partial_cmp` unwrap cannot see a NaN.
+#[derive(PartialEq)]
+struct SlotKey(f64, usize);
+
+impl Eq for SlotKey {}
+
+impl PartialOrd for SlotKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SlotKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap()
+            .then(self.1.cmp(&other.1))
+    }
+}
+
 /// Greedy list-scheduling makespan of `jobs` on `machines` (dispatch order,
-/// least-loaded machine first) — how block grids fill SMs.
+/// least-loaded machine first) — how block grids fill SMs. Heap-based with
+/// the same (load, lowest-index) selection as the original linear scan:
+/// identical assignment, identical float results.
 pub fn makespan(jobs: &[f64], machines: usize) -> f64 {
     assert!(machines > 0);
-    let mut loads = vec![0.0f64; machines];
-    for &j in jobs {
-        // least-loaded SM (ties: lowest index, deterministic)
-        let (idx, _) = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
-            .unwrap();
-        loads[idx] += j;
+    if machines == 1 {
+        // same accumulation order as the general path's single machine
+        return jobs.iter().fold(0.0, |acc, &j| acc + j);
     }
-    loads.into_iter().fold(0.0, f64::max)
+    let mut heap: BinaryHeap<Reverse<SlotKey>> =
+        (0..machines).map(|i| Reverse(SlotKey(0.0, i))).collect();
+    for &j in jobs {
+        let Reverse(SlotKey(load, idx)) = heap.pop().unwrap();
+        heap.push(Reverse(SlotKey(load + j, idx)));
+    }
+    heap.into_iter()
+        .map(|Reverse(SlotKey(load, _))| load)
+        .fold(0.0, f64::max)
 }
 
 /// A record of one simulated kernel launch.

@@ -20,6 +20,7 @@ use crate::cost::{
 use crate::device::{BufferId, Device, OomError};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Simulation environment for a run: device cost constants, memory capacity,
 /// and an optional simulated-time budget.
@@ -180,6 +181,33 @@ impl SharedArray {
     }
 }
 
+/// How a warp's 32 lane addresses map onto global-memory traffic — the
+/// charging policy of the warp-granularity [`BlockCtx::gather`] /
+/// [`BlockCtx::scatter`] helpers.
+///
+/// The **invariant** (DESIGN.md "Fast-path cost accounting") is that at any
+/// call site converted from per-lane charging, the bulk charge must equal
+/// the per-lane sum exactly — the fast path changes how counters are
+/// *computed*, never what they *sum to*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coalescing {
+    /// Random-access model: every lane pays its own 32-byte sector
+    /// (`global_sectors += lanes`). Bit-identical to a loop of
+    /// [`BlockCtx::gread`] / [`BlockCtx::gwrite`] — the drop-in policy for
+    /// converted per-lane call sites.
+    Scattered,
+    /// Classify the warp's addresses into distinct 32-byte sectors in one
+    /// pass and charge only the distinct count (`global_sectors +=
+    /// distinct`). The hardware-faithful policy for *new* call sites; it
+    /// may charge less than `Scattered`, so converting an existing call
+    /// site to it would change golden traces.
+    Classified,
+    /// The warp touches a contiguous run: charge 128-byte transactions
+    /// (`global_tx += coalesced_tx(lanes)`), like the hand-written
+    /// `charge_tx(coalesced_tx(..))` sites.
+    Contiguous,
+}
+
 /// Per-block execution context handed to kernel closures.
 pub struct BlockCtx<'a> {
     /// The device, for buffer access.
@@ -192,22 +220,33 @@ pub struct BlockCtx<'a> {
     pub counters: Counters,
     shared: Vec<u32>,
     shared_capacity_bytes: u64,
+    /// True when the engine guarantees no other block is executing
+    /// concurrently on this device (serial launch path, stepped waves, the
+    /// commit phase of a phased launch). Lets the global-atomic helpers use
+    /// plain load/store instead of lock-prefixed RMWs — same values, same
+    /// charges, less host time.
+    exclusive: bool,
 }
 
 impl<'a> BlockCtx<'a> {
-    fn new(
+    /// Builds a context, reusing a recycled shared-memory backing vector
+    /// when the arena has one (the capacity survives across launches).
+    fn with_shared(
         device: &'a Device,
         block_idx: u32,
         cfg: LaunchConfig,
         shared_capacity_bytes: u64,
+        mut shared: Vec<u32>,
     ) -> Self {
+        shared.clear();
         BlockCtx {
             device,
             block_idx,
             cfg,
             counters: Counters::default(),
-            shared: Vec::new(),
+            shared,
             shared_capacity_bytes,
+            exclusive: false,
         }
     }
 
@@ -291,14 +330,55 @@ impl<'a> BlockCtx<'a> {
     #[inline]
     pub fn atomic_add(&mut self, cell: &AtomicU32, delta: u32) -> u32 {
         self.counters.global_atomics += 1;
-        cell.fetch_add(delta, Ordering::AcqRel)
+        self.raw_atomic_add(cell, delta)
     }
 
     /// Global `atomicSub`; returns the old value.
     #[inline]
     pub fn atomic_sub(&mut self, cell: &AtomicU32, delta: u32) -> u32 {
         self.counters.global_atomics += 1;
-        cell.fetch_sub(delta, Ordering::AcqRel)
+        self.raw_atomic_sub(cell, delta)
+    }
+
+    /// *Uncharged* global `atomicAdd` for bulk-charged fast paths: the
+    /// caller must add the matching `global_atomics` count itself (one `+=`
+    /// per warp/chunk instead of per lane). Exclusive-execution aware.
+    #[inline]
+    pub fn raw_atomic_add(&self, cell: &AtomicU32, delta: u32) -> u32 {
+        if self.exclusive {
+            let old = cell.load(Ordering::Relaxed);
+            cell.store(old.wrapping_add(delta), Ordering::Relaxed);
+            old
+        } else {
+            cell.fetch_add(delta, Ordering::AcqRel)
+        }
+    }
+
+    /// *Uncharged* global `atomicSub`; see [`BlockCtx::raw_atomic_add`].
+    #[inline]
+    pub fn raw_atomic_sub(&self, cell: &AtomicU32, delta: u32) -> u32 {
+        if self.exclusive {
+            let old = cell.load(Ordering::Relaxed);
+            cell.store(old.wrapping_sub(delta), Ordering::Relaxed);
+            old
+        } else {
+            cell.fetch_sub(delta, Ordering::AcqRel)
+        }
+    }
+
+    /// *Uncharged* shared-memory read for bulk-charged fast paths (caller
+    /// accounts `shared_accesses` / `shared_atomics` in bulk).
+    #[inline]
+    pub fn sh_peek(&self, arr: SharedArray, idx: usize) -> u32 {
+        debug_assert!(idx < arr.len);
+        self.shared[arr.start + idx]
+    }
+
+    /// *Uncharged* shared-memory write; see [`BlockCtx::sh_peek`].
+    #[inline]
+    pub fn sh_poke(&mut self, arr: SharedArray, idx: usize, value: u32) {
+        debug_assert!(idx < arr.len);
+        self.shared[arr.start + idx] = value;
     }
 
     // ---- charging ------------------------------------------------------
@@ -342,6 +422,80 @@ impl<'a> BlockCtx<'a> {
     pub fn sync_warp(&mut self) {
         self.counters.warp_instrs += 1;
     }
+
+    // ---- warp-granularity memory ops (fast path) -----------------------
+
+    /// Classifies up to one warp's worth of word addresses into distinct
+    /// 32-byte sectors (8 words each) in a single pass, returning the
+    /// sector count a coalescer would issue. Insertion-dedups into a stack
+    /// array — no allocation, O(lanes·distinct) with distinct ≤ 32.
+    pub fn warp_sector_count(addrs: &[usize]) -> u64 {
+        debug_assert!(addrs.len() <= 32);
+        let mut sectors = [0usize; 32];
+        let mut n = 0usize;
+        'outer: for &a in addrs {
+            let s = a >> 3; // 8 × 4-byte words per 32-byte sector
+            for &seen in &sectors[..n] {
+                if seen == s {
+                    continue 'outer;
+                }
+            }
+            sectors[n] = s;
+            n += 1;
+        }
+        n as u64
+    }
+
+    /// Charges one warp memory access over `lanes` addresses under the
+    /// given [`Coalescing`] policy. `addrs` is only inspected for
+    /// [`Coalescing::Classified`]; the other policies need just the count.
+    #[inline]
+    fn charge_warp_access(&mut self, mode: Coalescing, lanes: usize, addrs: &[usize]) {
+        match mode {
+            Coalescing::Scattered => self.counters.global_sectors += lanes as u64,
+            Coalescing::Classified => {
+                self.counters.global_sectors += Self::warp_sector_count(addrs)
+            }
+            Coalescing::Contiguous => self.counters.global_tx += Self::coalesced_tx(lanes as u64),
+        }
+    }
+
+    /// Warp-granularity gather: loads `buf[idxs[i]]` into `out[i]` for every
+    /// lane, classifying the coalescing **once per warp** and charging the
+    /// counters in one bulk update instead of per lane. With
+    /// [`Coalescing::Scattered`] this is bit-identical in cost to a loop of
+    /// [`BlockCtx::gread`].
+    #[inline]
+    pub fn gather(&mut self, buf: &[AtomicU32], idxs: &[usize], out: &mut [u32], mode: Coalescing) {
+        debug_assert!(idxs.len() <= 32 && out.len() >= idxs.len());
+        self.charge_warp_access(mode, idxs.len(), idxs);
+        for (o, &i) in out.iter_mut().zip(idxs) {
+            *o = buf[i].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Warp-granularity scatter: stores `vals[i]` to `buf[idxs[i]]`,
+    /// classified and charged once per warp (see [`BlockCtx::gather`]).
+    #[inline]
+    pub fn scatter(&mut self, buf: &[AtomicU32], idxs: &[usize], vals: &[u32], mode: Coalescing) {
+        debug_assert!(idxs.len() <= 32 && vals.len() >= idxs.len());
+        self.charge_warp_access(mode, idxs.len(), idxs);
+        for (&v, &i) in vals.iter().zip(idxs) {
+            buf[i].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Warp-granularity `atomicAdd`: one RMW per lane on `buf[idxs[i]]`,
+    /// charged as `idxs.len()` global atomics in a single bulk update —
+    /// identical totals to a per-lane [`BlockCtx::atomic_add`] loop.
+    #[inline]
+    pub fn atomic_add_lanes(&mut self, buf: &[AtomicU32], idxs: &[usize], delta: u32) {
+        debug_assert!(idxs.len() <= 32);
+        self.counters.global_atomics += idxs.len() as u64;
+        for &i in idxs {
+            self.raw_atomic_add(&buf[i], delta);
+        }
+    }
 }
 
 /// The simulated GPU program context: device + cost model + simulated clock.
@@ -361,6 +515,13 @@ pub struct GpuContext {
     schedule_seed: u64,
     phase: &'static str,
     profile_blocks: bool,
+    /// Arena of recycled shared-memory backing vectors: a retiring block's
+    /// `Vec<u32>` goes back here and the next launch's blocks pop it, so
+    /// steady-state launches allocate nothing for shared memory.
+    shared_pool: Mutex<Vec<Vec<u32>>>,
+    /// Recycled per-launch `Vec<Counters>` scratch (reused whenever
+    /// per-block profiling is off and the vector isn't retained).
+    counters_scratch: Vec<Counters>,
 }
 
 impl GpuContext {
@@ -381,6 +542,26 @@ impl GpuContext {
             schedule_seed: 0,
             phase: "main",
             profile_blocks: false,
+            shared_pool: Mutex::new(Vec::new()),
+            counters_scratch: Vec::new(),
+        }
+    }
+
+    /// Pops a recycled shared-memory backing vector (or a fresh one).
+    fn pooled_shared(&self) -> Vec<u32> {
+        self.shared_pool
+            .lock()
+            .map(|mut p| p.pop().unwrap_or_default())
+            .unwrap_or_default()
+    }
+
+    /// Returns a block's shared-memory backing to the arena.
+    fn recycle_shared(&self, mut v: Vec<u32>) {
+        v.clear();
+        if let Ok(mut p) = self.shared_pool.lock() {
+            if p.len() < 256 {
+                p.push(v);
+            }
         }
     }
 
@@ -499,6 +680,14 @@ impl GpuContext {
 
     /// Launches a kernel: runs `kernel` once per block (in parallel),
     /// aggregates the counters, and advances the simulated clock.
+    ///
+    /// When the effective rayon fan-out is one thread (or the grid has one
+    /// block) the blocks run inline on this thread with recycled scratch —
+    /// no per-launch allocation, no parallel-map machinery, and
+    /// exclusive-execution atomics. The order-preserving parallel path and
+    /// the serial path produce bit-identical counters for any kernel that
+    /// is deterministic under block concurrency (the golden pool-size tests
+    /// pin this).
     pub fn launch<F>(
         &mut self,
         name: &'static str,
@@ -515,18 +704,54 @@ impl GpuContext {
         );
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
-        let results: Vec<Result<Counters, KernelError>> = (0..cfg.blocks)
-            .into_par_iter()
-            .map(|b| {
-                let mut blk = BlockCtx::new(device, b, cfg, shared_cap);
-                kernel(&mut blk)?;
-                Ok(blk.counters)
-            })
-            .collect();
-        let per_block: Vec<Counters> = results
-            .into_iter()
-            .collect::<Result<_, _>>()
-            .map_err(SimError::Kernel)?;
+        let mut per_block = std::mem::take(&mut self.counters_scratch);
+        per_block.clear();
+        if rayon::current_num_threads() <= 1 || cfg.blocks == 1 {
+            for b in 0..cfg.blocks {
+                let mut blk =
+                    BlockCtx::with_shared(device, b, cfg, shared_cap, self.pooled_shared());
+                blk.exclusive = true;
+                let r = kernel(&mut blk);
+                self.recycle_shared(std::mem::take(&mut blk.shared));
+                per_block.push(blk.counters);
+                if let Err(e) = r {
+                    self.counters_scratch = per_block;
+                    self.counters_scratch.clear();
+                    return Err(SimError::Kernel(e));
+                }
+            }
+        } else {
+            let pool = &self.shared_pool;
+            let results: Vec<Result<Counters, KernelError>> = (0..cfg.blocks)
+                .into_par_iter()
+                .map(|b| {
+                    let shared = pool
+                        .lock()
+                        .map(|mut p| p.pop().unwrap_or_default())
+                        .unwrap_or_default();
+                    let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, shared);
+                    let r = kernel(&mut blk);
+                    let mut v = std::mem::take(&mut blk.shared);
+                    v.clear();
+                    if let Ok(mut p) = pool.lock() {
+                        if p.len() < 256 {
+                            p.push(v);
+                        }
+                    }
+                    r.map(|()| blk.counters)
+                })
+                .collect();
+            for r in results {
+                match r {
+                    Ok(c) => per_block.push(c),
+                    Err(e) => {
+                        self.counters_scratch = per_block;
+                        self.counters_scratch.clear();
+                        return Err(SimError::Kernel(e));
+                    }
+                }
+            }
+        }
         self.finish_launch(name, cfg, per_block)
     }
 
@@ -537,7 +762,7 @@ impl GpuContext {
         &mut self,
         name: &'static str,
         cfg: LaunchConfig,
-        per_block: Vec<Counters>,
+        mut per_block: Vec<Counters>,
     ) -> Result<(), SimError> {
         let block_cycles: Vec<f64> = per_block
             .iter()
@@ -554,6 +779,14 @@ impl GpuContext {
         self.time_s += t;
         let max_block_cycles = block_cycles.iter().copied().fold(0.0, f64::max);
         let sum_block_cycles = block_cycles.iter().sum();
+        let block_counters = if self.profile_blocks {
+            Some(per_block)
+        } else {
+            // arena: hand the per-launch counters vector back for reuse
+            per_block.clear();
+            self.counters_scratch = per_block;
+            None
+        };
         self.launches.push(LaunchRecord {
             name,
             phase: self.phase,
@@ -565,11 +798,7 @@ impl GpuContext {
             max_block_cycles,
             sum_block_cycles,
             block_cycles,
-            block_counters: if self.profile_blocks {
-                Some(per_block)
-            } else {
-                None
-            },
+            block_counters,
         });
         self.check_limit()
     }
@@ -609,7 +838,10 @@ impl GpuContext {
 
         let mut blocks: Vec<(BlockCtx<'_>, S, bool)> = Vec::with_capacity(cfg.blocks as usize);
         for b in 0..cfg.blocks {
-            let mut blk = BlockCtx::new(device, b, cfg, shared_cap);
+            let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, self.pooled_shared());
+            // the wave loop below runs on one host thread: no block ever
+            // executes concurrently with another, so atomics can be cheap
+            blk.exclusive = true;
             let state = init(&mut blk).map_err(SimError::Kernel)?;
             blocks.push((blk, state, true));
         }
@@ -642,8 +874,144 @@ impl GpuContext {
             }
         }
 
-        let per_block: Vec<Counters> = blocks.iter().map(|(blk, _, _)| blk.counters).collect();
+        let mut per_block = Vec::with_capacity(blocks.len());
+        for (blk, _, _) in &mut blocks {
+            per_block.push(blk.counters);
+            self.recycle_shared(std::mem::take(&mut blk.shared));
+        }
         drop(blocks); // release the device borrow before the &mut epilogue
+        self.finish_launch(name, cfg, per_block)
+    }
+
+    /// Two-phase variant of [`GpuContext::launch_stepped`] that can run each
+    /// wave's live blocks on the rayon pool **without changing a single
+    /// observable bit** relative to the serial wave loop.
+    ///
+    /// Each wave is split into:
+    ///
+    /// * **plan** — runs once per live block, *in parallel* when the rayon
+    ///   fan-out allows. The determinism contract (DESIGN.md "Fast-path
+    ///   cost accounting"): a plan may read device buffers that are
+    ///   immutable for the whole launch, read/write its own block's shared
+    ///   memory and state, and charge counters — it must **not** read or
+    ///   write any device memory that any block mutates during the launch.
+    /// * **commit** — runs serially in the exact xorshift wave order,
+    ///   performing every mutable-device-memory access (with
+    ///   exclusive-execution atomics, since the commit lane is serial).
+    ///
+    /// Because every access to mutable device state happens in commit, in
+    /// wave order, the interleaving — and therefore every counter, golden
+    /// fingerprint, and result — is identical to running
+    /// `launch_stepped(init, |blk, st| { let p = plan(blk, st)?;
+    /// commit(blk, st, p) })`. With a fan-out of one the phases are fused
+    /// exactly like that, with zero scheduling overhead.
+    pub fn launch_stepped_phased<S, P, FI, FP, FC>(
+        &mut self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        init: FI,
+        plan: FP,
+        commit: FC,
+    ) -> Result<(), SimError>
+    where
+        S: Send,
+        P: Send,
+        FI: Fn(&mut BlockCtx<'_>) -> Result<S, KernelError>,
+        FP: Fn(&mut BlockCtx<'_>, &mut S) -> Result<P, KernelError> + Sync,
+        FC: Fn(&mut BlockCtx<'_>, &mut S, P) -> Result<bool, KernelError>,
+    {
+        self.check_limit()?;
+        assert!(
+            cfg.threads_per_block.is_multiple_of(32),
+            "BLK_DIM must be a multiple of 32"
+        );
+        let device = &self.device;
+        let shared_cap = self.shared_capacity_bytes;
+        let parallel = rayon::current_num_threads() > 1;
+
+        let mut slots: Vec<Option<(BlockCtx<'_>, S)>> = Vec::with_capacity(cfg.blocks as usize);
+        let mut alive = vec![true; cfg.blocks as usize];
+        let mut done: Vec<Option<Counters>> = vec![None; cfg.blocks as usize];
+        for b in 0..cfg.blocks {
+            let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, self.pooled_shared());
+            blk.exclusive = true;
+            let state = init(&mut blk).map_err(SimError::Kernel)?;
+            slots.push(Some((blk, state)));
+        }
+        // identical xorshift wave shuffle to `launch_stepped`
+        let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut order: Vec<usize> = (0..slots.len()).collect();
+        let mut live = slots.len();
+        while live > 0 {
+            for i in (1..order.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let j = (rng % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            if parallel && live > 1 {
+                // Phase 1: pull the wave's live blocks out in wave order and
+                // plan them on the pool (order-preserving map).
+                let wave: Vec<(usize, BlockCtx<'_>, S)> = order
+                    .iter()
+                    .filter(|&&i| alive[i])
+                    .map(|&i| {
+                        let (blk, st) = slots[i].take().expect("live block present");
+                        (i, blk, st)
+                    })
+                    .collect();
+                let planned: Vec<(usize, BlockCtx<'_>, S, Result<P, KernelError>)> = wave
+                    .into_par_iter()
+                    .map(|(i, mut blk, mut st)| {
+                        blk.exclusive = false; // plans genuinely run concurrently
+                        let p = plan(&mut blk, &mut st);
+                        (i, blk, st, p)
+                    })
+                    .collect();
+                // Phase 2: commit serially in the same wave order.
+                for (i, mut blk, mut st, p) in planned {
+                    blk.exclusive = true;
+                    match p.and_then(|p| commit(&mut blk, &mut st, p)) {
+                        Ok(true) => {
+                            slots[i] = Some((blk, st));
+                        }
+                        Ok(false) => {
+                            alive[i] = false;
+                            live -= 1;
+                            done[i] = Some(blk.counters);
+                            self.recycle_shared(std::mem::take(&mut blk.shared));
+                        }
+                        Err(e) => return Err(SimError::Kernel(e)),
+                    }
+                }
+            } else {
+                // Serial specialization: fuse plan+commit per block, exactly
+                // the `launch_stepped` wave loop.
+                for &i in &order {
+                    if !alive[i] {
+                        continue;
+                    }
+                    let (blk, st) = slots[i].as_mut().expect("live block present");
+                    match plan(blk, st).and_then(|p| commit(blk, st, p)) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            alive[i] = false;
+                            live -= 1;
+                            let (mut blk, _) = slots[i].take().expect("live block present");
+                            done[i] = Some(blk.counters);
+                            self.recycle_shared(std::mem::take(&mut blk.shared));
+                        }
+                        Err(e) => return Err(SimError::Kernel(e)),
+                    }
+                }
+            }
+        }
+        let per_block: Vec<Counters> = done
+            .into_iter()
+            .map(|c| c.expect("all blocks retired"))
+            .collect();
+        drop(slots); // release the device borrow before the &mut epilogue
         self.finish_launch(name, cfg, per_block)
     }
 

@@ -65,7 +65,7 @@ pub use cost::{
 };
 pub use device::{BufferId, Device, OomError};
 pub use exec::{
-    BlockCtx, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
+    BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
 };
 pub use timeline::{BlockCost, CounterPoint, Hotspot, Timeline, TimelineSpan, TransferSpan};
 pub use trace::{

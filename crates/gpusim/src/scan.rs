@@ -10,7 +10,7 @@
 //!   (Fig. 9): per-warp HS, warp-0 scan of warp sums, then offset add.
 
 use crate::exec::BlockCtx;
-use crate::warp::{ballot_sync, lane_mask_lt, shfl_up, WARP_SIZE};
+use crate::warp::{ballot_sync, lane_mask_lt, WARP_SIZE};
 
 /// Hillis–Steele inclusive scan over one warp's lane values, in place.
 /// `ceil(log2(len))` shuffle+add steps, each one warp instruction pair.
@@ -22,10 +22,13 @@ pub fn hs_inclusive_scan(blk: &mut BlockCtx<'_>, lanes: &mut [u32]) {
     }
     let mut delta = 1usize;
     while delta < n {
-        let shifted = shfl_up(blk, lanes, delta);
-        blk.charge_instr(1); // the masked add
-        for i in delta..n {
-            lanes[i] += shifted[i];
+        // One `__shfl_up_sync` plus one masked add, fused without the
+        // shuffle's temporary: sweeping high-to-low reads each
+        // `lanes[i - delta]` before the sweep reaches it, so every add sees
+        // the pre-step value. Charged exactly as shfl_up (1) + add (1).
+        blk.charge_instr(2);
+        for i in (delta..n).rev() {
+            lanes[i] += lanes[i - delta];
         }
         delta <<= 1;
     }
@@ -88,6 +91,20 @@ pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
     (offsets, bits.count_ones())
 }
 
+/// [`ballot_scan`] from a pre-packed ballot mask, returning offsets in a
+/// stack array instead of a `Vec`. Charges the full three-instruction
+/// sequence (`__ballot_sync`, mask, `__popc`) — identical to calling
+/// `ballot_sync` on bool flags followed by `ballot_scan`'s offset step —
+/// so fast-path callers that keep predicates as bits charge the same.
+pub fn ballot_scan_offsets(blk: &mut BlockCtx<'_>, bits: u32) -> ([u32; WARP_SIZE], u32) {
+    blk.charge_instr(3);
+    let mut offsets = [0u32; WARP_SIZE];
+    for (lane, slot) in offsets.iter_mut().enumerate() {
+        *slot = (bits & lane_mask_lt(lane)).count_ones();
+    }
+    (offsets, bits.count_ones())
+}
+
 /// Intra-block two-stage exclusive scan (Fig. 9) over one value per thread.
 ///
 /// `values.len()` must equal the block's thread count. Stages:
@@ -100,33 +117,43 @@ pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
 ///
 /// Block barriers separate the stages. Returns `(exclusive offsets, total)`.
 pub fn block_two_stage_scan(blk: &mut BlockCtx<'_>, values: &[u32]) -> (Vec<u32>, u32) {
+    let mut out = vec![0u32; values.len()];
+    let total = block_two_stage_scan_into(blk, values, &mut out);
+    (out, total)
+}
+
+/// [`block_two_stage_scan`] writing into a caller-provided slice — lets hot
+/// loops reuse one scratch buffer across chunks instead of allocating a
+/// fresh offsets `Vec` per call. Charges are identical to the allocating
+/// form. `out.len()` must equal `values.len()`. Returns the total.
+pub fn block_two_stage_scan_into(blk: &mut BlockCtx<'_>, values: &[u32], out: &mut [u32]) -> u32 {
     let n = values.len();
     assert_eq!(
         n, blk.cfg.threads_per_block as usize,
         "one value per thread"
     );
+    assert_eq!(out.len(), n, "output slice must match value count");
     let num_warps = n.div_ceil(WARP_SIZE);
     assert!(num_warps <= WARP_SIZE, "warp totals must fit one warp");
 
     // Stage 1: per-warp inclusive scans (warps run concurrently on hardware;
-    // we charge each warp's HS individually inside hs_inclusive_scan).
-    let mut inclusive = vec![0u32; n];
-    let mut warp_totals = vec![0u32; num_warps];
+    // we charge each warp's HS individually inside hs_inclusive_scan),
+    // computed in place inside `out`.
+    out.copy_from_slice(values);
+    let mut warp_totals = [0u32; WARP_SIZE];
     for w in 0..num_warps {
         let lo = w * WARP_SIZE;
         let hi = ((w + 1) * WARP_SIZE).min(n);
-        let mut lanes = values[lo..hi].to_vec();
-        hs_inclusive_scan(blk, &mut lanes);
-        warp_totals[w] = *lanes.last().unwrap_or(&0);
-        inclusive[lo..hi].copy_from_slice(&lanes);
+        hs_inclusive_scan(blk, &mut out[lo..hi]);
+        warp_totals[w] = out[hi - 1];
     }
     // Stage 2: warp totals to shared memory, barrier, then warp 0 scans them
     // (cannot use ballot scan here: "elements are not 0-1", §IV-C).
     blk.counters.shared_accesses += num_warps as u64 * 2; // deposit + reload
     blk.sync_threads();
-    let mut warp_offsets = warp_totals.clone();
-    hs_inclusive_scan(blk, &mut warp_offsets);
-    let total = *warp_offsets.last().unwrap_or(&0);
+    let warp_offsets = &mut warp_totals[..num_warps];
+    hs_inclusive_scan(blk, warp_offsets);
+    let total = warp_offsets.last().copied().unwrap_or(0);
     // convert inclusive warp sums to exclusive warp offsets
     for w in (1..num_warps).rev() {
         warp_offsets[w] = warp_offsets[w - 1];
@@ -137,10 +164,10 @@ pub fn block_two_stage_scan(blk: &mut BlockCtx<'_>, values: &[u32]) -> (Vec<u32>
     blk.sync_threads();
     // Stage 3: each thread's exclusive offset = inclusive - own + warp offset
     blk.charge_instr(num_warps as u64); // one SIMT add per warp
-    let offsets: Vec<u32> = (0..n)
-        .map(|i| inclusive[i] - values[i] + warp_offsets[i / WARP_SIZE])
-        .collect();
-    (offsets, total)
+    for i in 0..n {
+        out[i] = out[i] - values[i] + warp_offsets[i / WARP_SIZE];
+    }
+    total
 }
 
 /// Host-side reference exclusive scan, for tests.
@@ -275,6 +302,51 @@ mod tests {
                 "ballot {ballot_cost} vs hs {hs_cost}"
             );
         });
+    }
+
+    #[test]
+    fn ballot_scan_offsets_matches_ballot_scan() {
+        with_block(32, |blk| {
+            let flags: Vec<bool> = (0..32).map(|i| (i * 7) % 3 == 0).collect();
+            let before = blk.counters.warp_instrs;
+            let (off, total) = ballot_scan(blk, &flags);
+            let ref_cost = blk.counters.warp_instrs - before;
+            let bits = flags
+                .iter()
+                .enumerate()
+                .fold(0u32, |m, (i, &p)| if p { m | (1 << i) } else { m });
+            let before = blk.counters.warp_instrs;
+            let (fast, fast_total) = ballot_scan_offsets(blk, bits);
+            let fast_cost = blk.counters.warp_instrs - before;
+            assert_eq!(&fast[..off.len()], off.as_slice());
+            assert_eq!(fast_total, total);
+            assert_eq!(fast_cost, ref_cost, "identical charging");
+        });
+    }
+
+    #[test]
+    fn block_scan_into_matches_allocating() {
+        for threads in [32u32, 256] {
+            with_block(threads, move |blk| {
+                let vals: Vec<u32> = (0..threads).map(|i| (i * 5 + 2) % 9).collect();
+                let before = blk.counters;
+                let (off, total) = block_two_stage_scan(blk, &vals);
+                let ref_counters = blk.counters;
+                let mut out = vec![0u32; vals.len()];
+                let fast_total = block_two_stage_scan_into(blk, &vals, &mut out);
+                assert_eq!(out, off);
+                assert_eq!(fast_total, total);
+                // both calls must charge the same deltas
+                assert_eq!(
+                    ref_counters.warp_instrs - before.warp_instrs,
+                    blk.counters.warp_instrs - ref_counters.warp_instrs
+                );
+                assert_eq!(
+                    ref_counters.shared_accesses - before.shared_accesses,
+                    blk.counters.shared_accesses - ref_counters.shared_accesses
+                );
+            });
+        }
     }
 
     #[test]

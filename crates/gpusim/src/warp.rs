@@ -52,6 +52,17 @@ pub fn shfl_up(blk: &mut BlockCtx<'_>, values: &[u32], delta: usize) -> Vec<u32>
         .collect()
 }
 
+/// `__shfl_up_sync(delta)` computed in place — identical semantics and
+/// charge to [`shfl_up`] but without the per-call `Vec`. A high-to-low sweep
+/// reads each `lanes[i - delta]` before the sweep reaches it, so every read
+/// observes the pre-shuffle value.
+pub fn shfl_up_in_place(blk: &mut BlockCtx<'_>, lanes: &mut [u32], delta: usize) {
+    blk.charge_instr(1);
+    for i in (delta..lanes.len()).rev() {
+        lanes[i] = lanes[i - delta];
+    }
+}
+
 /// The mask of bits strictly below `lane` — the "last j bits" mask of the
 /// paper's Fig. 8(c) ballot-scan illustration.
 pub fn lane_mask_lt(lane: usize) -> u32 {
@@ -107,6 +118,19 @@ mod tests {
             assert_eq!(shfl_broadcast(blk, &vals, 2), 30);
             assert_eq!(shfl_up(blk, &vals, 1), vec![10, 10, 20, 30]);
             assert_eq!(shfl_up(blk, &vals, 2), vec![10, 20, 10, 20]);
+        });
+    }
+
+    #[test]
+    fn shfl_up_in_place_matches_allocating() {
+        in_block(|blk| {
+            let vals: Vec<u32> = (0..32).map(|i| i * 3 + 1).collect();
+            for delta in [1usize, 2, 4, 8, 16, 31] {
+                let expect = shfl_up(blk, &vals, delta);
+                let mut lanes = vals.clone();
+                shfl_up_in_place(blk, &mut lanes, delta);
+                assert_eq!(lanes, expect, "delta {delta}");
+            }
         });
     }
 

@@ -15,7 +15,8 @@
 //! instead of tracking a removal count.
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_gpusim::{BlockCtx, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_gpusim::warp::WARP_SIZE;
+use kcore_gpusim::{BlockCtx, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions};
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
@@ -121,17 +122,31 @@ pub fn peel_in(
                     blk.charge_instr(((e - s) as u64).div_ceil(32).max(1) * 2);
                     // generic engine tax: `comp` UDF dispatch per arc
                     blk.charge_instr((e - s) as u64 * costs.gswitch_arc_cycles / 32);
-                    for j in s..e {
-                        let u = neighbors[j].load(Ordering::Relaxed) as usize;
-                        blk.charge_sector(1);
-                        if deg[u].load(Ordering::Relaxed) > k {
-                            let old = blk.atomic_sub(&deg[u], 1);
-                            if old <= k {
-                                blk.atomic_add(&deg[u], 1);
-                            }
-                            // newly degree-k neighbors are found by the next
-                            // sweep (dense mode needs no explicit frontier)
+                    // Warp-vectorized arc visit: one scattered warp gather
+                    // for the lanes' degree probes (charge-identical to a
+                    // per-lane sector each), then per-lane
+                    // decrement-and-recover.
+                    let mut j = s;
+                    while j < e {
+                        let cnt = (e - j).min(WARP_SIZE);
+                        let mut idxs = [0usize; WARP_SIZE];
+                        for (l, slot) in idxs[..cnt].iter_mut().enumerate() {
+                            *slot = neighbors[j + l].load(Ordering::Relaxed) as usize;
                         }
+                        let mut degs = [0u32; WARP_SIZE];
+                        blk.gather(deg, &idxs[..cnt], &mut degs[..cnt], Coalescing::Scattered);
+                        for l in 0..cnt {
+                            if degs[l] > k {
+                                let old = blk.atomic_sub(&deg[idxs[l]], 1);
+                                if old <= k {
+                                    blk.atomic_add(&deg[idxs[l]], 1);
+                                }
+                                // newly degree-k neighbors are found by the
+                                // next sweep (dense mode needs no explicit
+                                // frontier)
+                            }
+                        }
+                        j += cnt;
                     }
                 }
                 Ok(())

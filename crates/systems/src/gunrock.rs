@@ -15,7 +15,10 @@
 //! (Table V).
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_gpusim::{BlockCtx, GpuContext, KernelError, LaunchConfig, SimError, SimOptions};
+use kcore_gpusim::warp::WARP_SIZE;
+use kcore_gpusim::{
+    BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SimError, SimOptions,
+};
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
@@ -136,24 +139,38 @@ pub fn peel_in(
                     // generic advance operator tax: UDF dispatch +
                     // load-balancing bookkeeping per arc
                     blk.charge_instr((e - s) as u64 * costs.gunrock_arc_cycles / 32);
-                    for j in s..e {
-                        let u = neighbors[j].load(Ordering::Relaxed) as usize;
-                        blk.charge_sector(1); // deg probe
-                        if deg[u].load(Ordering::Relaxed) > k {
-                            let old = blk.atomic_sub(&deg[u], 1);
-                            if old == k + 1 {
-                                let slot = blk.atomic_add(len, 1) as usize;
-                                if slot >= n {
-                                    return Err(KernelError::BufferOverflow {
-                                        what: "gunrock frontier".into(),
-                                    });
+                    // Warp-vectorized arc visit: gather the lanes' degree
+                    // probes in one warp access (scattered — charge-identical
+                    // to a per-lane sector probe), then resolve the
+                    // decrement-and-recover protocol per lane.
+                    let mut j = s;
+                    while j < e {
+                        let cnt = (e - j).min(WARP_SIZE);
+                        let mut idxs = [0usize; WARP_SIZE];
+                        for (l, slot) in idxs[..cnt].iter_mut().enumerate() {
+                            *slot = neighbors[j + l].load(Ordering::Relaxed) as usize;
+                        }
+                        let mut degs = [0u32; WARP_SIZE];
+                        blk.gather(deg, &idxs[..cnt], &mut degs[..cnt], Coalescing::Scattered);
+                        for l in 0..cnt {
+                            let u = idxs[l];
+                            if degs[l] > k {
+                                let old = blk.atomic_sub(&deg[u], 1);
+                                if old == k + 1 {
+                                    let slot = blk.atomic_add(len, 1) as usize;
+                                    if slot >= n {
+                                        return Err(KernelError::BufferOverflow {
+                                            what: "gunrock frontier".into(),
+                                        });
+                                    }
+                                    fout[slot].store(u as u32, Ordering::Relaxed);
+                                    blk.charge_sector(1);
+                                } else if old <= k {
+                                    blk.atomic_add(&deg[u], 1);
                                 }
-                                fout[slot].store(u as u32, Ordering::Relaxed);
-                                blk.charge_sector(1);
-                            } else if old <= k {
-                                blk.atomic_add(&deg[u], 1);
                             }
                         }
+                        j += cnt;
                     }
                 }
                 Ok(())

@@ -17,9 +17,37 @@
 //! (edge-centric peeling with an added outer round loop).
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_gpusim::{BlockCtx, BufferId, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_gpusim::warp::WARP_SIZE;
+use kcore_gpusim::{
+    BlockCtx, BufferId, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions,
+};
 use kcore_graph::Csr;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// SendMessage's scattered per-arc broadcast: stores `val` to
+/// `msg[ridx[j]]` for every arc of `v`, one warp-granularity
+/// [`BlockCtx::scatter`] per 32 arcs. Charge-identical to the per-lane
+/// form (`Coalescing::Scattered` bills one 32-byte sector per arc).
+fn scatter_messages(
+    blk: &mut BlockCtx<'_>,
+    ridx: &[AtomicU32],
+    msg: &[AtomicU32],
+    s: usize,
+    e: usize,
+    val: u32,
+) {
+    let vals = [val; WARP_SIZE];
+    let mut j = s;
+    while j < e {
+        let cnt = (e - j).min(WARP_SIZE);
+        let mut idxs = [0usize; WARP_SIZE];
+        for (l, slot) in idxs[..cnt].iter_mut().enumerate() {
+            *slot = ridx[j + l].load(Ordering::Relaxed) as usize;
+        }
+        blk.scatter(msg, &idxs[..cnt], &vals[..cnt], Coalescing::Scattered);
+        j += cnt;
+    }
+}
 
 /// Number of vertices a Medusa "block" owns per launch (vertex-partitioned).
 fn block_range(blk: &BlockCtx<'_>, n: usize) -> (usize, usize) {
@@ -177,11 +205,7 @@ pub fn mpm_in(
                 );
                 let av = a[v].load(Ordering::Relaxed);
                 blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1); // ridx + a[v]
-                blk.charge_sector((e - s) as u64); // scattered message writes
-                for j in s..e {
-                    let slot = ridx[j].load(Ordering::Relaxed) as usize;
-                    msg[slot].store(av, Ordering::Relaxed);
-                }
+                scatter_messages(blk, ridx, msg, s, e, av);
             }
             Ok(())
         })?;
@@ -302,7 +326,6 @@ pub fn peel_in(
                         offsets[v + 1].load(Ordering::Relaxed) as usize,
                     );
                     blk.charge_tx(BlockCtx::coalesced_tx((e - s) as u64) + 1);
-                    blk.charge_sector((e - s) as u64);
                     let is_shell = deleted[v].load(Ordering::Relaxed) == 0
                         && deg[v].load(Ordering::Relaxed) <= k;
                     let m_val = if is_shell {
@@ -313,10 +336,7 @@ pub fn peel_in(
                     } else {
                         0
                     };
-                    for j in s..e {
-                        let slot = ridx[j].load(Ordering::Relaxed) as usize;
-                        msg[slot].store(m_val, Ordering::Relaxed);
-                    }
+                    scatter_messages(blk, ridx, msg, s, e, m_val);
                 }
                 Ok(())
             })?;

@@ -1,0 +1,58 @@
+//! Host wall-clock profile of the simulator across peel variants — a quick
+//! way to measure *host* (not simulated) performance of the execution
+//! engine, used to validate fast-path speedups.
+//!
+//! ```bash
+//! cargo run --release --example profile_host
+//! ```
+use kcore::gpu::{decompose, PeelConfig, SimOptions};
+use kcore::gpusim::LaunchConfig;
+use kcore::graph::gen;
+use std::time::Instant;
+
+fn main() {
+    let g = gen::rmat(12, 20_000, gen::RmatParams::graph500(), 7);
+    let base = PeelConfig {
+        launch: LaunchConfig {
+            blocks: 16,
+            threads_per_block: 256,
+        },
+        buf_capacity: 16_384,
+        shared_buf_capacity: 512,
+        ..PeelConfig::default()
+    };
+    for cfg in base.all_variants() {
+        let t = Instant::now();
+        let mut runs = 0u32;
+        while t.elapsed().as_secs_f64() < 1.0 {
+            let r = decompose(&g, &cfg, &SimOptions::default()).unwrap();
+            std::hint::black_box(r);
+            runs += 1;
+        }
+        println!(
+            "{:28} {:8.2} ms/run ({} runs)",
+            cfg.variant_name(),
+            t.elapsed().as_secs_f64() * 1e3 / runs as f64,
+            runs
+        );
+    }
+
+    // paper-style geometry on a bigger graph (table2-ish)
+    let g = gen::rmat(14, 120_000, gen::RmatParams::graph500(), 7);
+    let cfg = PeelConfig {
+        launch: LaunchConfig {
+            blocks: 108,
+            threads_per_block: 128,
+        },
+        buf_capacity: 16_384,
+        shared_buf_capacity: 512,
+        ..PeelConfig::default()
+    };
+    let t = Instant::now();
+    let r = decompose(&g, &cfg, &SimOptions::default()).unwrap();
+    std::hint::black_box(&r);
+    println!(
+        "rmat14 paperish             {:8.2} ms/run",
+        t.elapsed().as_secs_f64() * 1e3
+    );
+}

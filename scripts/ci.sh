@@ -13,6 +13,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== simulator wall-clock smoke budget =="
+# The simulator suite re-runs (already compiled) under a generous wall-clock
+# ceiling: a blow-up here means a host-side perf regression (e.g. the fast
+# path silently falling back to per-lane charging) that the simulated-time
+# regression gate below cannot see.
+SMOKE_BUDGET_S="${KCORE_SMOKE_BUDGET_S:-300}"
+smoke_start=$(date +%s)
+cargo test -q -p kcore-gpusim
+smoke_elapsed=$(( $(date +%s) - smoke_start ))
+echo "kcore-gpusim tests took ${smoke_elapsed}s (budget ${SMOKE_BUDGET_S}s)"
+if (( smoke_elapsed > SMOKE_BUDGET_S )); then
+  echo "ERROR: kcore-gpusim test suite exceeded the ${SMOKE_BUDGET_S}s wall-clock budget" >&2
+  exit 1
+fi
+
 echo "== bench regression gate =="
 KCORE_SMOKE=1 KCORE_DATASETS=amazon0601,wiki-Talk scripts/check_regression.sh
 

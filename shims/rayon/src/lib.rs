@@ -15,6 +15,7 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::resume_unwind;
+use std::sync::OnceLock;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
@@ -25,14 +26,26 @@ thread_local! {
     static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Machine parallelism, resolved once per process. On Linux,
+/// `available_parallelism` re-reads the cgroup CPU quota files on every
+/// call (open/read/statx per query); uncached it showed up as ~25% of a
+/// simulator run's wall clock, since every kernel launch consults the
+/// fan-out width.
+fn machine_parallelism() -> usize {
+    static MACHINE: OnceLock<usize> = OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    })
+}
+
 fn pool_threads() -> usize {
     let n = POOL_THREADS.with(Cell::get);
     if n != 0 {
         n
     } else {
-        std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
+        machine_parallelism()
     }
 }
 
@@ -108,9 +121,7 @@ impl ThreadPool {
         if self.num_threads != 0 {
             self.num_threads
         } else {
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1)
+            machine_parallelism()
         }
     }
 }
