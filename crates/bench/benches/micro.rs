@@ -290,6 +290,79 @@ fn bench_graph_builder(c: &mut Criterion) {
     });
 }
 
+/// The ingestion pipeline end to end: R-MAT sampling (serial single-stream
+/// vs chunked parallel), the CSR build paths over the same edge list, and
+/// the two edge-list text parsers over the same buffer. Each pair is a
+/// differential micro-benchmark of byte-identical implementations, so any
+/// gap is pure pipeline overhead/win.
+fn bench_ingest(c: &mut Criterion) {
+    use kcore_graph::builder::{from_edges_with, BuildPath};
+
+    let mut group = c.benchmark_group("ingest");
+    let (scale, m, seed) = (14u32, 200_000u64, 11u64);
+    // The parallel paths short-circuit to their serial twins on a
+    // single-threaded pool, so pin a >=2-thread pool: on multi-core hosts
+    // this measures the real speedup, on a 1-core host the (oversubscribed)
+    // fan-out overhead — either way the parallel machinery runs.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    group.bench_function("rmat_serial_200k", |b| {
+        b.iter(|| {
+            black_box(gen::rmat_serial(
+                scale,
+                m,
+                gen::RmatParams::graph500(),
+                seed,
+            ))
+        })
+    });
+    group.bench_function("rmat_parallel_200k", |b| {
+        b.iter(|| {
+            pool.install(|| black_box(gen::rmat(scale, m, gen::RmatParams::graph500(), seed)))
+        })
+    });
+
+    let edges: Vec<(u32, u32)> = gen::rmat(scale, m, gen::RmatParams::graph500(), seed)
+        .edges()
+        .collect();
+    let n = 1u32 << scale;
+    group.bench_function("csr_build_serial", |b| {
+        b.iter(|| black_box(from_edges_with(n, black_box(&edges), BuildPath::Serial)))
+    });
+    group.bench_function("csr_build_parallel", |b| {
+        b.iter(|| {
+            pool.install(|| black_box(from_edges_with(n, black_box(&edges), BuildPath::Parallel)))
+        })
+    });
+
+    let text = {
+        let mut s = String::new();
+        for &(u, v) in &edges {
+            s.push_str(&format!("{u}\t{v}\n"));
+        }
+        s
+    };
+    group.bench_function("parse_streaming", |b| {
+        b.iter(|| black_box(kcore_graph::io::parse_edge_list(black_box(text.as_bytes())).unwrap()))
+    });
+    group.bench_function("parse_bytes_parallel", |b| {
+        b.iter(|| {
+            pool.install(|| {
+                black_box(
+                    kcore_graph::io::parse_edge_list_bytes(black_box(text.as_bytes())).unwrap(),
+                )
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_warp_scans,
@@ -299,6 +372,7 @@ criterion_group!(
     bench_hindex,
     bench_cpu_algorithms,
     bench_gpu_variants,
-    bench_graph_builder
+    bench_graph_builder,
+    bench_ingest
 );
 criterion_main!(benches);

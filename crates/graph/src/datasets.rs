@@ -117,6 +117,13 @@ impl Dataset {
         // `gen::relabel`): real datasets assign IDs near-arbitrarily.
         gen::relabel(&boosted, self.seed ^ 0x5bd1_e995)
     }
+
+    /// Like [`Dataset::generate`], but served from the `KCORE_CACHE_DIR`
+    /// binary cache when enabled (see [`crate::cache`]). The returned graph
+    /// is identical either way; only wall-clock changes.
+    pub fn generate_cached(&self) -> Csr {
+        crate::cache::load_or_generate(self)
+    }
 }
 
 macro_rules! row {

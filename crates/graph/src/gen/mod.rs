@@ -19,9 +19,17 @@ mod web;
 
 pub use basic::{complete, complete_bipartite, cycle, grid, path, star};
 pub use collab::overlapping_cliques;
-pub use random::{barabasi_albert, erdos_renyi_gnm, preferential_attachment, rmat, RmatParams};
+pub use random::{
+    barabasi_albert, erdos_renyi_gnm, preferential_attachment, rmat, rmat_serial, RmatParams,
+};
 pub use skew::power_law_hubs;
 pub use web::web_crawl;
+
+/// Version of the generator algorithms' *output* (not their API). Part of
+/// every dataset cache key ([`crate::cache`]): bump it whenever any
+/// generator's byte output changes for a fixed seed, so stale cached CSRs
+/// regenerate instead of silently serving the old graphs.
+pub const GEN_VERSION: u32 = 1;
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Csr, VertexId};

@@ -4,6 +4,7 @@ use crate::builder::GraphBuilder;
 use crate::csr::{Csr, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// G(n, m): `m` edges sampled uniformly among unordered pairs.
 ///
@@ -64,15 +65,39 @@ impl RmatParams {
     }
 }
 
-/// R-MAT graph with `2^scale` vertices and ~`m` undirected edges.
-///
-/// Self-loops and duplicates are dropped during normalization, so the final
-/// edge count is slightly below `m` — matching how R-MAT is used in practice.
-pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> Csr {
-    assert!((1..=30).contains(&scale), "scale out of range");
-    let n: u32 = 1 << scale;
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_num_vertices(n);
+/// Edges per parallel R-MAT work item. Fixed — never derived from the
+/// thread count — so the edge stream is byte-identical at any pool size.
+const RMAT_CHUNK: u64 = 1 << 16;
+
+/// The SplitMix64 increment of the `rand` shim's `SmallRng`
+/// (`state += PHI` per draw), which makes per-chunk seed derivation a
+/// closed form: the RNG state after `k` draws from seed `s` is
+/// `s + k * PHI`. [`stream_seed`] exploits that to hand each R-MAT chunk
+/// the exact stream position the serial sampler would have reached, so the
+/// parallel generator is byte-identical to the serial one — not merely
+/// pool-size invariant. `gen::tests::rmat_parallel_matches_serial_oracle`
+/// pins this; if the shim is ever swapped for upstream `rand` (whose
+/// `SmallRng` has no closed-form jump), that test fails loudly and chunk
+/// seeding must be re-derived.
+const SPLITMIX_PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Seed whose `SmallRng` stream continues `seed`'s stream after
+/// `draws_consumed` calls to `next_u64` (see [`SPLITMIX_PHI`]).
+fn stream_seed(seed: u64, draws_consumed: u64) -> u64 {
+    seed.wrapping_add(draws_consumed.wrapping_mul(SPLITMIX_PHI))
+}
+
+/// Samples `m` R-MAT edge slots from one RNG stream, skipping self-loops.
+/// Exactly `scale` draws are consumed per slot (no rejection), which is
+/// what makes the chunk seed derivation in [`rmat`] exact.
+fn rmat_sample_edges(
+    scale: u32,
+    m: u64,
+    params: RmatParams,
+    chunk_seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SmallRng::seed_from_u64(chunk_seed);
+    let mut out = Vec::with_capacity(m as usize);
     for _ in 0..m {
         let (mut u, mut v) = (0u32, 0u32);
         for _ in 0..scale {
@@ -90,10 +115,56 @@ pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> Csr {
             v = (v << 1) | dv;
         }
         if u != v {
-            b.add_edge(u, v);
+            out.push((u, v));
         }
     }
+    out
+}
+
+/// R-MAT graph with `2^scale` vertices and ~`m` undirected edges.
+///
+/// Self-loops and duplicates are dropped during normalization, so the final
+/// edge count is slightly below `m` — matching how R-MAT is used in practice.
+///
+/// Edge sampling fans out over [`RMAT_CHUNK`]-sized chunks, each seeded at
+/// its exact position in the serial draw stream (see [`SPLITMIX_PHI`]), so
+/// the output is byte-identical to [`rmat_serial`] and to itself at every
+/// rayon pool size — golden traces pinned on R-MAT inputs stay valid.
+pub fn rmat(scale: u32, m: u64, params: RmatParams, seed: u64) -> Csr {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    let n: u32 = 1 << scale;
+    if rayon::current_num_threads() == 1 {
+        // One full-size chunk at draw offset 0 IS the serial stream; skip
+        // the fan-out's per-chunk allocations when there is nothing to
+        // fan out to.
+        let mut b = GraphBuilder::with_num_vertices(n);
+        b.extend_edges(rmat_sample_edges(scale, m, params, seed));
+        return b.build();
+    }
+    let starts: Vec<u64> = (0..m).step_by(RMAT_CHUNK as usize).collect();
+    let chunks: Vec<Vec<(VertexId, VertexId)>> = starts
+        .into_par_iter()
+        .map(|start| {
+            let len = RMAT_CHUNK.min(m - start);
+            let draws_consumed = start.wrapping_mul(scale as u64);
+            rmat_sample_edges(scale, len, params, stream_seed(seed, draws_consumed))
+        })
+        .collect();
+    let mut b = GraphBuilder::with_num_vertices(n);
+    for c in chunks {
+        b.extend_edges(c);
+    }
     b.build()
+}
+
+/// The original single-stream R-MAT sampler, retained as the differential
+/// oracle for the chunked [`rmat`] (and for the `ingest` criterion group).
+pub fn rmat_serial(scale: u32, m: u64, params: RmatParams, seed: u64) -> Csr {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    let n: u32 = 1 << scale;
+    let mut b = GraphBuilder::with_num_vertices(n);
+    b.extend_edges(rmat_sample_edges(scale, m, params, seed));
+    b.build_with(crate::builder::BuildPath::Serial)
 }
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to
@@ -191,6 +262,44 @@ mod tests {
     fn rmat_deterministic() {
         let p = RmatParams::mild();
         assert_eq!(rmat(8, 1000, p, 9), rmat(8, 1000, p, 9));
+    }
+
+    /// The chunked parallel sampler continues the exact serial draw stream
+    /// (SplitMix64 jump-ahead), so `rmat` ≡ `rmat_serial` even when `m`
+    /// spans several chunks. If this fails, the `rand` shim's `SmallRng`
+    /// state recurrence no longer matches [`SPLITMIX_PHI`].
+    #[test]
+    fn rmat_parallel_matches_serial_oracle() {
+        // Run inside a >1-thread pool: on a single-threaded pool `rmat`
+        // legitimately short-circuits to the serial stream, which would
+        // leave the chunked path untested on 1-core hosts.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let p = RmatParams::graph500();
+            // single chunk
+            assert_eq!(rmat(9, 2_000, p, 7), rmat_serial(9, 2_000, p, 7));
+            // several chunks (3 × RMAT_CHUNK worth of edge slots)
+            let m = 3 * RMAT_CHUNK + 1_234;
+            assert_eq!(rmat(12, m, p, 41), rmat_serial(12, m, p, 41));
+        });
+    }
+
+    #[test]
+    fn rmat_identical_across_pool_sizes() {
+        let p = RmatParams::graph500();
+        let m = 2 * RMAT_CHUNK + 17;
+        let baseline = rmat(11, m, p, 5);
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let g = pool.install(|| rmat(11, m, p, 5));
+            assert_eq!(g, baseline, "pool size {threads}");
+        }
     }
 
     #[test]

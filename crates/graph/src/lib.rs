@@ -6,11 +6,15 @@
 //!   paper (§IV "Graph Organization in GPU": `neighbors`, `offset`, `deg`).
 //! * [`GraphBuilder`] — normalizing builder (undirect, dedup, drop self-loops,
 //!   dense ID recoding) so every algorithm sees a *simple undirected* graph.
-//! * [`io`] — SNAP-style edge-list text loading/saving.
+//! * [`io`] — SNAP-style edge-list text loading/saving (streaming and
+//!   parallel in-memory paths with identical output).
+//! * [`binio`] — versioned, checksummed binary CSR files (`.kcsr`).
 //! * [`gen`] — synthetic generators (Erdős–Rényi, RMAT, Barabási–Albert,
 //!   tracker-skew, web-crawl-like, temporal co-authorship, …).
 //! * [`datasets`] — a registry of 20 named stand-ins mirroring Table I of the
 //!   paper at reduced scale (see DESIGN.md for the substitution rationale).
+//! * [`cache`] — the `KCORE_CACHE_DIR` dataset cache: generate once, load
+//!   the binary CSR afterwards.
 //! * [`stats`] — the per-dataset statistics columns of Table I.
 //!
 //! # Example
@@ -32,7 +36,9 @@
 //! assert_eq!(g.num_vertices(), 1_000);
 //! ```
 
+pub mod binio;
 pub mod builder;
+pub mod cache;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
@@ -40,7 +46,7 @@ pub mod io;
 pub mod recode;
 pub mod stats;
 
-pub use builder::GraphBuilder;
+pub use builder::{BuildPath, GraphBuilder};
 pub use csr::{Csr, VertexId};
 pub use stats::GraphStats;
 

@@ -12,6 +12,11 @@ fi
 mkdir -p results
 export KCORE_RESULTS_DIR="$PWD/results"
 
+# Dataset cache: every table binary needs the same stand-in graphs; with the
+# cache enabled the first binary generates them and the rest load binary
+# CSRs (bit-identical — see DESIGN.md "Ingestion pipeline & dataset cache").
+export KCORE_CACHE_DIR="${KCORE_CACHE_DIR:-$PWD/.kcore-cache}"
+
 cargo build --release -p kcore-bench
 
 for t in table1 table2 table3 table4 table5 fig10_case_study; do
