@@ -12,7 +12,7 @@
 //! beyond the convergence flag.
 
 use kcore_gpusim::warp::WARP_SIZE;
-use kcore_gpusim::{BlockCtx, Coalescing, GpuContext, SimError, SimOptions, SimReport};
+use kcore_gpusim::{BlockCtx, Coalescing, GpuContext, SimError, SimOptions, SimReport, SizeClass};
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
@@ -45,12 +45,13 @@ pub fn decompose_mpm_in(ctx: &mut GpuContext, g: &Csr) -> Result<(Vec<u32>, u32)
         return Ok((Vec::new(), 0));
     }
     ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, g.num_arcs());
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-    let d_offsets = ctx.htod("gpumpm.offset", &offsets32)?;
-    let d_neighbors = ctx.htod("gpumpm.neighbors", g.neighbor_array())?;
-    let d_a = ctx.htod("gpumpm.a", &g.degrees())?;
-    let d_a_new = ctx.alloc("gpumpm.a_new", n)?;
-    let d_flag = ctx.alloc("gpumpm.flag", 1)?;
+    let d_offsets = ctx.htod_tagged("gpumpm.offset", &offsets32, SizeClass::PerVertex)?;
+    let d_neighbors = ctx.htod_tagged("gpumpm.neighbors", g.neighbor_array(), SizeClass::PerArc)?;
+    let d_a = ctx.htod_tagged("gpumpm.a", &g.degrees(), SizeClass::PerVertex)?;
+    let d_a_new = ctx.alloc_tagged("gpumpm.a_new", n, SizeClass::PerVertex)?;
+    let d_flag = ctx.alloc_tagged("gpumpm.flag", 1, SizeClass::Fixed)?;
     let launch = kcore_gpusim::LaunchConfig::paper();
 
     let mut bufs = [d_a, d_a_new];

@@ -27,7 +27,7 @@
 
 use crate::config::PeelConfig;
 use crate::peel;
-use kcore_gpusim::{GpuContext, SimError, SimOptions};
+use kcore_gpusim::{GpuContext, SimError, SimOptions, SizeClass};
 use kcore_graph::{Csr, GraphBuilder};
 
 /// Configuration of a multi-GPU run.
@@ -124,8 +124,23 @@ pub fn decompose_multi(
             }
         }
         let local = b.build();
+        // Each worker's resident set, held for the whole run: its local CSR
+        // rows, a full-length degree array (authoritative for [lo, hi)), and
+        // the peel scratch buffer. Real ledger allocations — `memstats()` on
+        // a worker context sees them — and allocs charge no simulated time,
+        // so per-phase kernel timing is untouched.
+        let mut ctx = opts.context();
+        ctx.set_phase("Setup");
+        ctx.set_workload_dims(n as u64, local.num_arcs());
+        ctx.alloc_tagged(
+            "mgpu.local_arcs",
+            local.num_arcs() as usize,
+            SizeClass::PerArc,
+        )?;
+        ctx.alloc_tagged("mgpu.deg", n, SizeClass::PerVertex)?;
+        ctx.alloc_tagged("mgpu.buf", cfg.peel.buf_capacity, SizeClass::Fixed)?;
         workers.push(WorkerState {
-            ctx: opts.context(),
+            ctx,
             lo,
             hi,
             local,
@@ -299,15 +314,9 @@ pub fn decompose_multi(
     }
 
     let k_max = core.iter().copied().max().unwrap_or(0);
-    let total_peak_mem_bytes = workers
-        .iter()
-        .map(|w| {
-            // device footprint: local CSR rows + deg + buffers (charged as
-            // an accounting allocation so peaks are comparable)
-            w.ctx.device.peak_bytes()
-                + (w.local.num_arcs() + n as u64 + cfg.peel.buf_capacity as u64) * 4
-        })
-        .sum();
+    // The resident set is allocated through the ledger at worker setup, so
+    // the device peak alone is the footprint.
+    let total_peak_mem_bytes = workers.iter().map(|w| w.ctx.device.peak_bytes()).sum();
     Ok(MultiGpuRun {
         core,
         k_max,

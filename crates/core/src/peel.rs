@@ -19,6 +19,7 @@ use kcore_gpusim::scan::{
 };
 use kcore_gpusim::{
     BlockCtx, BufferId, GpuContext, KernelError, SharedArray, SimError, SimOptions, SimReport,
+    SizeClass,
 };
 use kcore_graph::Csr;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -82,15 +83,19 @@ pub fn decompose_in(
 
     // Algorithm 1, line 1: load G (offset / neighbors / deg) to the device.
     ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, g.num_arcs());
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-    let d_offsets = ctx.htod("offset", &offsets32)?;
-    let d_neighbors = ctx.htod("neighbors", g.neighbor_array())?;
-    let d_deg = ctx.htod("deg", &g.degrees())?;
+    let d_offsets = ctx.htod_tagged("offset", &offsets32, SizeClass::PerVertex)?;
+    let d_neighbors = ctx.htod_tagged("neighbors", g.neighbor_array(), SizeClass::PerArc)?;
+    let d_deg = ctx.htod_tagged("deg", &g.degrees(), SizeClass::PerVertex)?;
     // Line 4: per-block buffers + the persisted buffer tails + gpu_count.
+    // All three are sized by the launch configuration, not the graph, so
+    // they extrapolate as `Fixed` (the forecast carries the configured
+    // scratch capacity through unscaled).
     let blocks = cfg.launch.blocks as usize;
-    let d_buf = ctx.alloc("buf", blocks * cfg.buf_capacity)?;
-    let d_buf_e = ctx.alloc("buf_e", blocks)?;
-    let d_count = ctx.alloc("gpu_count", 1)?;
+    let d_buf = ctx.alloc_tagged("buf", blocks * cfg.buf_capacity, SizeClass::Fixed)?;
+    let d_buf_e = ctx.alloc_tagged("buf_e", blocks, SizeClass::Fixed)?;
+    let d_count = ctx.alloc_tagged("gpu_count", 1, SizeClass::Fixed)?;
 
     let p = KParams {
         n,

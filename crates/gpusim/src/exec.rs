@@ -17,7 +17,7 @@
 use crate::cost::{
     CostParams, CounterSample, Counters, LaunchRecord, SimReport, TransferDir, TransferRecord,
 };
-use crate::device::{BufferId, Device, OomError};
+use crate::device::{BufferId, Device, OomError, SizeClass};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
@@ -515,6 +515,11 @@ pub struct GpuContext {
     schedule_seed: u64,
     phase: &'static str,
     profile_blocks: bool,
+    /// Workload dimensions (|V|, arc count) declared by the algorithm via
+    /// [`GpuContext::set_workload_dims`]; zero until declared. Pure
+    /// observability — feeds [`MemStats`](crate::MemStats) extrapolation.
+    pub(crate) workload_vertices: u64,
+    pub(crate) workload_arcs: u64,
     /// Arena of recycled shared-memory backing vectors: a retiring block's
     /// `Vec<u32>` goes back here and the next launch's blocks pop it, so
     /// steady-state launches allocate nothing for shared memory.
@@ -542,6 +547,8 @@ impl GpuContext {
             schedule_seed: 0,
             phase: "main",
             profile_blocks: false,
+            workload_vertices: 0,
+            workload_arcs: 0,
             shared_pool: Mutex::new(Vec::new()),
             counters_scratch: Vec::new(),
         }
@@ -570,6 +577,7 @@ impl GpuContext {
     /// callers can restore it. Phases group launches in profiling traces
     /// ([`crate::trace::Trace`]).
     pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        self.device.note_phase(phase);
         std::mem::replace(&mut self.phase, phase)
     }
 
@@ -613,6 +621,35 @@ impl GpuContext {
         Ok(self.device.alloc(name, len)?)
     }
 
+    /// [`GpuContext::alloc`] with an explicit [`SizeClass`] tag, so the
+    /// allocation extrapolates correctly in
+    /// [`MemStats::extrapolate`](crate::MemStats::extrapolate). Identical
+    /// cost and accounting to `alloc` — the tag is pure observability.
+    pub fn alloc_tagged(
+        &mut self,
+        name: &str,
+        len: usize,
+        class: SizeClass,
+    ) -> Result<BufferId, SimError> {
+        Ok(self.device.alloc_with(name, len, 4, class)?)
+    }
+
+    /// Declares the workload dimensions (vertex count, arc count) this
+    /// context is processing, for capacity extrapolation. Observability
+    /// only: charges nothing, perturbs nothing.
+    pub fn set_workload_dims(&mut self, vertices: u64, arcs: u64) {
+        self.workload_vertices = vertices;
+        self.workload_arcs = arcs;
+    }
+
+    /// Keeps the device ledger's stamp (logical launch/transfer sequence
+    /// number + sim-clock ms) current; called after every event that
+    /// advances either.
+    fn sync_device_stamp(&mut self) {
+        let seq = (self.launches.len() + self.transfers.len()) as u64;
+        self.device.set_stamp(seq, self.time_s * 1e3);
+    }
+
     /// Records one host↔device copy: advances the clock and appends a
     /// [`TransferRecord`] stamped with the active phase.
     fn record_transfer(&mut self, dir: TransferDir, bytes: u64) {
@@ -630,6 +667,7 @@ impl GpuContext {
             bytes,
             time_s,
         });
+        self.sync_device_stamp();
     }
 
     /// Samples a named observability counter track at the current sim-clock
@@ -654,8 +692,19 @@ impl GpuContext {
 
     /// `cudaMalloc` + `cudaMemcpy` host→device, charged at PCIe bandwidth.
     pub fn htod(&mut self, name: &str, data: &[u32]) -> Result<BufferId, SimError> {
+        self.htod_tagged(name, data, SizeClass::Fixed)
+    }
+
+    /// [`GpuContext::htod`] with an explicit [`SizeClass`] tag (see
+    /// [`GpuContext::alloc_tagged`]). Identical cost and accounting.
+    pub fn htod_tagged(
+        &mut self,
+        name: &str,
+        data: &[u32],
+        class: SizeClass,
+    ) -> Result<BufferId, SimError> {
         self.check_limit()?;
-        let id = self.device.alloc(name, data.len())?;
+        let id = self.device.alloc_with(name, data.len(), 4, class)?;
         self.device.write_slice(id, data);
         self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
         Ok(id)
@@ -800,6 +849,7 @@ impl GpuContext {
             block_cycles,
             block_counters,
         });
+        self.sync_device_stamp();
         self.check_limit()
     }
 
@@ -1025,6 +1075,7 @@ impl GpuContext {
     /// decisions that are not per-block events).
     pub fn add_overhead_s(&mut self, seconds: f64) -> Result<(), SimError> {
         self.time_s += seconds;
+        self.sync_device_stamp();
         self.check_limit()
     }
 

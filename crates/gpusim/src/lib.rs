@@ -22,7 +22,11 @@
 //!
 //! Device memory is a tracked arena: allocations update current/peak byte
 //! counts and fail with [`OomError`] beyond capacity — producing the
-//! paper's "OOM" table entries naturally.
+//! paper's "OOM" table entries naturally. Every alloc/free is also recorded
+//! in an allocation ledger ([`device::LedgerEntry`]) feeding
+//! [`MemStats`] snapshots, per-phase memory watermarks, and full-scale
+//! capacity forecasts ([`MemStats::extrapolate`]) — observability that
+//! charges nothing and cannot perturb a golden trace.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod memstats;
 pub mod perfetto;
 pub mod scan;
 pub mod timeline;
@@ -63,11 +68,17 @@ pub use cost::{
     BlockSchedule, CostParams, CounterSample, Counters, LaunchRecord, Roofline, SimReport,
     TransferDir, TransferRecord,
 };
-pub use device::{BufferId, Device, OomError};
+pub use device::{BufferId, Device, LedgerEntry, OomError, SizeClass};
 pub use exec::{
     BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
 };
-pub use timeline::{BlockCost, CounterPoint, Hotspot, Timeline, TimelineSpan, TransferSpan};
+pub use memstats::{
+    CapacityForecast, LiveAlloc, MemStats, PhasePeak, PhaseTransfers, MEMSTATS_SCHEMA_VERSION,
+    P100_DEVICE_BYTES, PEAK_LIVE_SET_TOP_K,
+};
+pub use timeline::{
+    BlockCost, CounterPoint, Hotspot, MemSpan, Timeline, TimelineSpan, TransferSpan,
+};
 pub use trace::{
     DeviceInfo, LaunchEvent, PhaseSummary, Totals, Trace, TransferEvent, HOTSPOT_TOP_K,
     TRACE_SCHEMA_VERSION,

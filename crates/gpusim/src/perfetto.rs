@@ -12,6 +12,11 @@
 //!   an `"X"` span named after its kernel, with the phase as category and
 //!   launch/block/slot/warps in `args`.
 //! * **pid 1 — PCIe.** Host↔device copies as `"X"` spans (`h2d` / `d2h`).
+//! * **pid 2 — device memory.** One `"X"` lifetime slice per allocation
+//!   (named after the buffer, phase as category, bytes/size-class in
+//!   `args`), laned by the device slot the allocation occupied, plus a
+//!   `device_bytes` counter stepping through the live-footprint curve — so
+//!   footprint tiling renders directly against the SM tracks.
 //! * **Counter tracks.** Every [`crate::timeline::CounterPoint`] sampled via
 //!   [`crate::GpuContext::sample_counter`] (frontier size per round, …)
 //!   becomes a `"C"` event, and an `active_warps` counter is derived from
@@ -23,7 +28,7 @@
 //! golden tests across runs and rayon pool sizes).
 
 use crate::timeline::Timeline;
-use serde::Value;
+use serde::{Serialize, Value};
 
 /// Track-id stride separating residency slots of one SM: `tid = sm * 64 +
 /// slot`. 64 > [`crate::CostParams::max_blocks_per_sm`] on every modelled
@@ -33,6 +38,7 @@ const SLOT_STRIDE: u32 = 64;
 
 const GPU_PID: u64 = 0;
 const PCIE_PID: u64 = 1;
+const MEM_PID: u64 = 2;
 
 impl Timeline {
     /// Serializes the timeline as compact Chrome trace-event JSON (see the
@@ -54,6 +60,25 @@ impl Timeline {
             Some(0),
             "Host ↔ Device".into(),
         ));
+        if !self.memory.is_empty() {
+            events.push(meta_event(
+                "process_name",
+                MEM_PID,
+                None,
+                "Device memory".into(),
+            ));
+            let mut lanes: Vec<u64> = self.memory.iter().map(|m| m.slot).collect();
+            lanes.sort_unstable();
+            lanes.dedup();
+            for lane in lanes {
+                events.push(meta_event(
+                    "thread_name",
+                    MEM_PID,
+                    Some(lane),
+                    format!("alloc slot {lane}"),
+                ));
+            }
+        }
         // name only the (sm, slot) tracks that actually ran a block, in
         // (sm, slot) order
         let mut tids: Vec<(u32, u32)> = self.spans.iter().map(|s| (s.sm, s.slot)).collect();
@@ -117,12 +142,36 @@ impl Timeline {
             ]));
         }
 
+        // ---- device-memory lifetime slices ---------------------------
+        for m in &self.memory {
+            events.push(obj(vec![
+                ("name", Value::Str(m.name.clone())),
+                ("cat", Value::Str(m.phase.into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(m.start_ms * 1e3)),
+                ("dur", Value::Float((m.end_ms - m.start_ms) * 1e3)),
+                ("pid", Value::UInt(MEM_PID)),
+                ("tid", Value::UInt(m.slot)),
+                (
+                    "args",
+                    obj(vec![
+                        ("bytes", Value::UInt(m.bytes)),
+                        ("size_class", m.size_class.to_value()),
+                        ("freed", Value::Bool(m.freed)),
+                    ]),
+                ),
+            ]));
+        }
+
         // ---- counter tracks ------------------------------------------
         for c in &self.counters {
-            events.push(counter_event(c.track, c.time_ms, c.value));
+            events.push(counter_event(GPU_PID, c.track, c.time_ms, c.value));
         }
         for (ts_ms, warps) in active_warps(self) {
-            events.push(counter_event("active_warps", ts_ms, warps as f64));
+            events.push(counter_event(GPU_PID, "active_warps", ts_ms, warps as f64));
+        }
+        for (ts_ms, bytes) in device_bytes(self) {
+            events.push(counter_event(MEM_PID, "device_bytes", ts_ms, bytes as f64));
         }
 
         let doc = obj(vec![
@@ -149,8 +198,27 @@ fn active_warps(tl: &Timeline) -> Vec<(f64, i64)> {
         edges.push((s.start_ms, s.warps as i64));
         edges.push((s.end_ms, -(s.warps as i64)));
     }
-    // retire before dispatch at equal timestamps so back-to-back blocks on
-    // one slot don't double-count
+    merge_edges(edges)
+}
+
+/// The `device_bytes` step function: live footprint after each distinct
+/// alloc/free edge. Allocations never freed contribute no closing edge, so
+/// the curve ends at the still-live level instead of draining to zero.
+fn device_bytes(tl: &Timeline) -> Vec<(f64, i64)> {
+    let mut edges: Vec<(f64, i64)> = Vec::with_capacity(tl.memory.len() * 2);
+    for m in &tl.memory {
+        edges.push((m.start_ms, m.bytes as i64));
+        if m.freed {
+            edges.push((m.end_ms, -(m.bytes as i64)));
+        }
+    }
+    merge_edges(edges)
+}
+
+/// Accumulates +/− edges into a step curve with one point per distinct
+/// timestamp. Negative edges sort first at equal timestamps (retire before
+/// dispatch), so back-to-back occupants of one slot don't double-count.
+fn merge_edges(mut edges: Vec<(f64, i64)>) -> Vec<(f64, i64)> {
     edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
     let mut out: Vec<(f64, i64)> = Vec::new();
     let mut level = 0i64;
@@ -164,12 +232,12 @@ fn active_warps(tl: &Timeline) -> Vec<(f64, i64)> {
     out
 }
 
-fn counter_event(track: &str, ts_ms: f64, value: f64) -> Value {
+fn counter_event(pid: u64, track: &str, ts_ms: f64, value: f64) -> Value {
     obj(vec![
         ("name", Value::Str(track.into())),
         ("ph", Value::Str("C".into())),
         ("ts", Value::Float(ts_ms * 1e3)),
-        ("pid", Value::UInt(GPU_PID)),
+        ("pid", Value::UInt(pid)),
         ("tid", Value::UInt(0)),
         ("args", obj(vec![("value", Value::Float(value))])),
     ])
@@ -233,9 +301,16 @@ mod tests {
         assert!(json.contains("\"name\":\"d2h\""));
         assert!(json.contains("\"name\":\"frontier\",\"ph\":\"C\""));
         assert!(json.contains("\"name\":\"active_warps\",\"ph\":\"C\""));
+        // device-memory process: lifetime slice for the htod'd buffer and
+        // the footprint counter
+        assert!(json.contains("\"Device memory\""));
+        assert!(json.contains("\"alloc slot 0\""));
+        assert!(json.contains("\"name\":\"x\",\"cat\":\"main\",\"ph\":\"X\""));
+        assert!(json.contains("\"size_class\":\"Fixed\""));
+        assert!(json.contains("\"name\":\"device_bytes\",\"ph\":\"C\""));
         // trailer
         assert!(json.contains("\"displayTimeUnit\":\"ms\""));
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
     }
 
     #[test]
@@ -251,6 +326,22 @@ mod tests {
         for w in steps.windows(2) {
             assert!(w[1].0 > w[0].0);
         }
+    }
+
+    #[test]
+    fn device_bytes_steps_with_alloc_and_free() {
+        let mut c = ctx();
+        let tmp = c.alloc("scratch", 16).unwrap(); // +64 B
+        c.device.free(tmp);
+        let tl = c.timeline("t");
+        let steps = super::device_bytes(&tl);
+        // htod (256 B) at t=0, then +64/−64 at the current clock (merged to
+        // one point back at the pre-alloc level)
+        assert_eq!(steps.first().unwrap().1, 256);
+        assert_eq!(steps.last().unwrap().1, 256);
+        assert!(steps.iter().any(|&(_, v)| v == 256 + 64) || steps.len() == 2);
+        // never drains to zero: "x" is still live at snapshot time
+        assert!(steps.iter().all(|&(_, v)| v >= 256));
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct Timeline {
     pub transfers: Vec<TransferSpan>,
     /// Host-sampled counter-track points, in sampling order.
     pub counters: Vec<CounterPoint>,
+    /// Device-allocation lifetimes as timeline spans, in allocation order
+    /// (schema v3; drives the Perfetto memory process and `device_bytes`
+    /// counter track).
+    pub memory: Vec<MemSpan>,
 }
 
 /// One block's residency on one SM.
@@ -89,6 +93,29 @@ pub struct TransferSpan {
     pub start_ms: f64,
     /// Sim-clock end, ms.
     pub end_ms: f64,
+}
+
+/// One device allocation's lifetime on the timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct MemSpan {
+    /// Allocation name.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Scaling tag declared at the alloc site.
+    pub size_class: crate::device::SizeClass,
+    /// Phase the allocation was made in.
+    pub phase: &'static str,
+    /// Device slot the allocation occupied (its lane: slots are reused
+    /// after a free, so consecutive lifetimes can share a lane).
+    pub slot: u64,
+    /// Sim-clock allocation time, ms.
+    pub start_ms: f64,
+    /// Sim-clock free time, ms (allocations never freed extend to the end
+    /// of the run).
+    pub end_ms: f64,
+    /// Whether the allocation was freed before the snapshot.
+    pub freed: bool,
 }
 
 /// One sampled point on a named counter track.
@@ -315,6 +342,22 @@ impl GpuContext {
                 value: s.value,
             })
             .collect();
+        let end_ms = self.elapsed_ms();
+        let memory = self
+            .device
+            .ledger()
+            .iter()
+            .map(|e| MemSpan {
+                name: e.name.clone(),
+                bytes: e.bytes,
+                size_class: e.size_class,
+                phase: e.phase,
+                slot: e.slot,
+                start_ms: e.alloc_ms,
+                end_ms: e.free_ms.unwrap_or(end_ms),
+                freed: !e.is_live(),
+            })
+            .collect();
         Timeline {
             schema_version: TRACE_SCHEMA_VERSION,
             label: label.into(),
@@ -322,6 +365,7 @@ impl GpuContext {
             spans,
             transfers,
             counters,
+            memory,
         }
     }
 
@@ -433,6 +477,19 @@ mod tests {
         c.launch("nop", cfg, |_| Ok(())).unwrap();
         let h = &c.hotspots(1)[0];
         assert_eq!(h.dominant_bucket().0, "launch_overhead");
+    }
+
+    #[test]
+    fn memory_spans_cover_allocation_lifetimes() {
+        let c = skewed_ctx();
+        let tl = c.timeline("unit");
+        assert_eq!(tl.memory.len(), 1); // the htod'd "x"
+        let m = &tl.memory[0];
+        assert_eq!((m.name.as_str(), m.bytes, m.slot), ("x", 256, 0));
+        // never freed → the span extends to the end of the run
+        assert!(!m.freed);
+        assert_eq!(m.start_ms, 0.0);
+        assert!((m.end_ms - c.elapsed_ms()).abs() < 1e-12);
     }
 
     #[test]

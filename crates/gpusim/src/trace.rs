@@ -20,6 +20,7 @@
 
 use crate::cost::{Counters, Roofline, TransferDir, TransferRecord};
 use crate::exec::GpuContext;
+use crate::memstats::MemStats;
 use crate::timeline::Hotspot;
 use serde::Serialize;
 
@@ -31,8 +32,9 @@ use serde::Serialize;
 ///
 /// History: 1 = PR 1 launch/transfer/phase rollups; 2 = adds
 /// `schema_version`, per-kernel hotspot attribution, and event start
-/// timestamps (timeline support).
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// timestamps (timeline support); 3 = adds `memstats` (allocation ledger,
+/// per-phase memory watermarks, capacity extrapolation inputs).
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// Worst blocks kept per kernel in a trace's hotspot records.
 pub const HOTSPOT_TOP_K: usize = 5;
@@ -53,6 +55,9 @@ pub struct Trace {
     /// Per-kernel cost attribution ([`crate::timeline::hotspots`]), in
     /// first-launch order.
     pub hotspots: Vec<Hotspot>,
+    /// Device-memory snapshot: allocation ledger, per-phase watermarks,
+    /// transfer rollup, peak live set (schema v3).
+    pub memstats: MemStats,
     /// One event per kernel launch, in launch order.
     pub launches: Vec<LaunchEvent>,
     /// One event per host↔device copy, in issue order.
@@ -223,6 +228,9 @@ impl GpuContext {
     /// (back-to-back traces used to inherit stale phase labels).
     pub fn trace(&mut self, label: impl Into<String>) -> Trace {
         let report = self.report();
+        // snapshot memory before the phase reset below, so the memstats
+        // embedded here match a standalone `memstats()` call exactly
+        let memstats = self.memstats();
         let launches: Vec<LaunchEvent> = self
             .launches()
             .iter()
@@ -280,6 +288,7 @@ impl GpuContext {
             },
             phases: summarize_phases(self.launches(), self.transfers()),
             hotspots: crate::timeline::hotspots(self.launches(), &self.cost, HOTSPOT_TOP_K),
+            memstats,
             launches,
             transfers,
         }
@@ -453,12 +462,14 @@ mod tests {
     fn trace_serializes_to_json() {
         let mut c = traced_ctx();
         let json = c.trace("unit").to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"phase\": \"Scan\""));
         assert!(json.contains("\"bound\""));
         assert!(json.contains("\"block_counters\""));
         assert!(json.contains("\"hotspots\""));
+        assert!(json.contains("\"memstats\""));
+        assert!(json.contains("\"peak_live_set\""));
         // capturing twice yields byte-identical JSON (simulated time only)
         assert_eq!(json, c.trace("unit").to_json());
     }

@@ -6,7 +6,7 @@ use kcore_gpusim::scan::{
     ballot_scan, blelloch_exclusive_scan, block_two_stage_scan, hs_inclusive_scan,
     reference_exclusive_scan,
 };
-use kcore_gpusim::{CostParams, Device, GpuContext, LaunchConfig};
+use kcore_gpusim::{CostParams, Device, GpuContext, LaunchConfig, SizeClass};
 use proptest::prelude::*;
 
 proptest! {
@@ -95,6 +95,83 @@ proptest! {
             prop_assert_eq!(d.used_bytes(), used);
             prop_assert_eq!(d.peak_bytes(), peak);
         }
+    }
+
+    /// Allocation-ledger invariants under any interleaving of tagged
+    /// allocs and frees: live bytes = sum of live ledger entries, the
+    /// device peak = the max of the ledger's replayed live curve, every
+    /// per-phase watermark ≤ the global peak, and the phase watermark of
+    /// the currently active phase ≥ current live bytes.
+    #[test]
+    fn ledger_invariants(ops in proptest::collection::vec(
+        (1usize..1000, 1usize..=8, 0u8..3, any::<bool>(), any::<bool>()),
+        1..60,
+    )) {
+        let phases: [&'static str; 3] = ["Setup", "Loop", "Result"];
+        let mut d = Device::new(1 << 30);
+        let mut live: Vec<kcore_gpusim::BufferId> = Vec::new();
+        let mut phase = "main";
+        for (i, (elems, elem_bytes, class, free_first, switch_phase)) in
+            ops.into_iter().enumerate()
+        {
+            if switch_phase {
+                phase = phases[i % phases.len()];
+                d.note_phase(phase);
+            }
+            if free_first && !live.is_empty() {
+                d.free(live.swap_remove(0));
+            }
+            let class = [SizeClass::PerVertex, SizeClass::PerArc, SizeClass::Fixed]
+                [class as usize];
+            live.push(d.alloc_with("x", elems, elem_bytes, class).unwrap());
+
+            let ledger = d.ledger();
+            let live_sum: u64 = ledger.iter().filter(|e| e.is_live()).map(|e| e.bytes).sum();
+            prop_assert_eq!(d.used_bytes(), live_sum, "used = sum of live ledger entries");
+            // replay the live curve in fine-op order; its max is the peak
+            let mut events: Vec<(u64, i64)> = Vec::new();
+            for e in ledger {
+                events.push((e.alloc_op, e.bytes as i64));
+                if let Some(op) = e.free_op {
+                    events.push((op, -(e.bytes as i64)));
+                }
+            }
+            events.sort_unstable();
+            let mut cur = 0i64;
+            let mut replay_peak = 0i64;
+            for (_, delta) in events {
+                cur += delta;
+                replay_peak = replay_peak.max(cur);
+            }
+            prop_assert_eq!(d.peak_bytes(), replay_peak as u64, "peak = max of live curve");
+            for &(p, watermark) in d.phase_peaks() {
+                prop_assert!(watermark <= d.peak_bytes(), "phase {} above global peak", p);
+                if p == phase {
+                    prop_assert!(watermark >= d.used_bytes(), "active phase below live bytes");
+                }
+            }
+        }
+    }
+
+    /// An OOM error reports exactly the numbers the ledger implies: the
+    /// requested size, the free bytes derived from the live ledger sum, and
+    /// the configured capacity.
+    #[test]
+    fn oom_error_matches_ledger(fill in 1usize..200, req_over in 1usize..100) {
+        let capacity = 4096u64;
+        let mut d = Device::new(capacity);
+        let fill = fill.min(1000);
+        d.alloc_with("fill", fill, 4, SizeClass::Fixed).unwrap();
+        let live_sum: u64 = d.ledger().iter().filter(|e| e.is_live()).map(|e| e.bytes).sum();
+        let free = capacity - live_sum;
+        let req_elems = (free / 4) as usize + req_over; // always too big
+        let err = d.alloc_with("big", req_elems, 4, SizeClass::PerArc).unwrap_err();
+        prop_assert_eq!(err.requested_bytes, req_elems as u64 * 4);
+        prop_assert_eq!(err.available_bytes, free);
+        prop_assert_eq!(err.capacity_bytes, capacity);
+        // the failed request left no ledger entry and charged nothing
+        prop_assert_eq!(d.ledger().len(), 1);
+        prop_assert_eq!(d.used_bytes(), live_sum);
     }
 
     /// Simulated time is additive across launches and monotone.

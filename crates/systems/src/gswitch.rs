@@ -16,7 +16,9 @@
 
 use crate::{FrameworkCosts, SystemRun};
 use kcore_gpusim::warp::WARP_SIZE;
-use kcore_gpusim::{BlockCtx, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_gpusim::{
+    BlockCtx, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions, SizeClass,
+};
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
@@ -53,17 +55,23 @@ pub fn peel_in(
         return Ok((Vec::new(), 0));
     }
     ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, g.num_arcs());
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-    let d_offsets = ctx.htod("gswitch.offset", &offsets32)?;
-    let d_neighbors = ctx.htod("gswitch.neighbors", g.neighbor_array())?;
-    let d_deg = ctx.htod("gswitch.deg", &g.degrees())?;
+    let d_offsets = ctx.htod_tagged("gswitch.offset", &offsets32, SizeClass::PerVertex)?;
+    let d_neighbors =
+        ctx.htod_tagged("gswitch.neighbors", g.neighbor_array(), SizeClass::PerArc)?;
+    let d_deg = ctx.htod_tagged("gswitch.deg", &g.degrees(), SizeClass::PerVertex)?;
     // Frontier list + bitmap (the autotuner keeps both representations), a
     // removed bitmap, and the engine's generic per-arc message slots.
-    let d_flist = ctx.alloc("gswitch.frontier_list", n)?;
-    let d_fbitmap = ctx.alloc("gswitch.frontier_bitmap", n.div_ceil(32))?;
-    let d_removed = ctx.alloc("gswitch.removed", n)?;
-    let d_eaux = ctx.alloc("gswitch.edge_aux", g.num_arcs() as usize)?;
-    let d_len = ctx.alloc("gswitch.frontier_len", 1)?;
+    let d_flist = ctx.alloc_tagged("gswitch.frontier_list", n, SizeClass::PerVertex)?;
+    let d_fbitmap = ctx.alloc_tagged(
+        "gswitch.frontier_bitmap",
+        n.div_ceil(32),
+        SizeClass::PerVertex,
+    )?;
+    let d_removed = ctx.alloc_tagged("gswitch.removed", n, SizeClass::PerVertex)?;
+    let d_eaux = ctx.alloc_tagged("gswitch.edge_aux", g.num_arcs() as usize, SizeClass::PerArc)?;
+    let d_len = ctx.alloc_tagged("gswitch.frontier_len", 1, SizeClass::Fixed)?;
     let launch = LaunchConfig::paper();
 
     let mut iterations = 0u64;

@@ -17,7 +17,7 @@
 use crate::{FrameworkCosts, SystemRun};
 use kcore_gpusim::warp::WARP_SIZE;
 use kcore_gpusim::{
-    BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SimError, SimOptions,
+    BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SimError, SimOptions, SizeClass,
 };
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
@@ -45,22 +45,39 @@ pub fn peel_in(
         return Ok((Vec::new(), 0));
     }
     ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, g.num_arcs());
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-    let d_offsets = ctx.htod("gunrock.offset", &offsets32)?;
-    let d_neighbors = ctx.htod("gunrock.neighbors", g.neighbor_array())?;
-    let d_deg = ctx.htod("gunrock.deg", &g.degrees())?;
+    let d_offsets = ctx.htod_tagged("gunrock.offset", &offsets32, SizeClass::PerVertex)?;
+    let d_neighbors =
+        ctx.htod_tagged("gunrock.neighbors", g.neighbor_array(), SizeClass::PerArc)?;
+    let d_deg = ctx.htod_tagged("gunrock.deg", &g.degrees(), SizeClass::PerVertex)?;
     // Frontier double buffer (vertex frontiers) + edge-capacity scratch the
     // runtime keeps for advance output before filtering.
-    let d_f_in = ctx.alloc("gunrock.frontier_in", n)?;
-    let d_f_out = ctx.alloc("gunrock.frontier_out", n)?;
+    let d_f_in = ctx.alloc_tagged("gunrock.frontier_in", n, SizeClass::PerVertex)?;
+    let d_f_out = ctx.alloc_tagged("gunrock.frontier_out", n, SizeClass::PerVertex)?;
     // Edge-sized runtime structures: a CSC duplicate (Gunrock builds both
     // orientations), the advance output scratch, and per-edge flags for the
     // load-balanced partitioning — the footprint that makes Gunrock OOM
     // earlier than GSWITCH in Tables III/V.
-    let d_csc = ctx.alloc("gunrock.csc", g.num_arcs() as usize + n + 1)?;
-    let d_escratch = ctx.alloc("gunrock.edge_scratch", g.num_arcs() as usize)?;
-    let d_eflags = ctx.alloc("gunrock.edge_flags", g.num_arcs() as usize)?;
-    let d_len = ctx.alloc("gunrock.frontier_len", 1)?;
+    // arcs + n + 1 words: arc-dominated, so `PerArc` is the closest
+    // linear tag (the n+1 offset tail under-scales by a hair — see
+    // DESIGN.md on why extrapolation is linear per class)
+    let d_csc = ctx.alloc_tagged(
+        "gunrock.csc",
+        g.num_arcs() as usize + n + 1,
+        SizeClass::PerArc,
+    )?;
+    let d_escratch = ctx.alloc_tagged(
+        "gunrock.edge_scratch",
+        g.num_arcs() as usize,
+        SizeClass::PerArc,
+    )?;
+    let d_eflags = ctx.alloc_tagged(
+        "gunrock.edge_flags",
+        g.num_arcs() as usize,
+        SizeClass::PerArc,
+    )?;
+    let d_len = ctx.alloc_tagged("gunrock.frontier_len", 1, SizeClass::Fixed)?;
     let launch = LaunchConfig::paper();
 
     let mut removed = 0u64;

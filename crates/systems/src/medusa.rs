@@ -19,7 +19,7 @@
 use crate::{FrameworkCosts, SystemRun};
 use kcore_gpusim::warp::WARP_SIZE;
 use kcore_gpusim::{
-    BlockCtx, BufferId, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions,
+    BlockCtx, BufferId, Coalescing, GpuContext, LaunchConfig, SimError, SimOptions, SizeClass,
 };
 use kcore_graph::Csr;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -96,10 +96,12 @@ struct MedusaDev {
 impl MedusaDev {
     fn load(ctx: &mut GpuContext, g: &Csr) -> Result<Self, SimError> {
         ctx.set_phase("Setup");
+        ctx.set_workload_dims(u64::from(g.num_vertices()), g.num_arcs());
         let n = g.num_vertices() as usize;
         let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-        let d_offsets = ctx.htod("medusa.offset", &offsets32)?;
-        let d_neighbors = ctx.htod("medusa.neighbors", g.neighbor_array())?;
+        let d_offsets = ctx.htod_tagged("medusa.offset", &offsets32, SizeClass::PerVertex)?;
+        let d_neighbors =
+            ctx.htod_tagged("medusa.neighbors", g.neighbor_array(), SizeClass::PerArc)?;
         // Reverse index: arc j (u→v, at position j of u's list) delivers its
         // message into v's incoming slot — the position of u in v's list.
         let mut ridx = vec![0u32; g.num_arcs() as usize];
@@ -110,14 +112,16 @@ impl MedusaDev {
                 ridx[base + off] = (g.offsets()[v as usize] as usize + pos_in_v) as u32;
             }
         }
-        let d_ridx = ctx.htod("medusa.ridx", &ridx)?;
-        let d_msg = ctx.alloc("medusa.msg", g.num_arcs() as usize)?;
+        let d_ridx = ctx.htod_tagged("medusa.ridx", &ridx, SizeClass::PerArc)?;
+        let d_msg = ctx.alloc_tagged("medusa.msg", g.num_arcs() as usize, SizeClass::PerArc)?;
         // Medusa's runtime additionally materializes an edge list (source
         // and destination arrays) for its edge-oriented message plumbing —
         // part of why the system OOMs the large crawls in Table III/V.
-        let _d_esrc = ctx.alloc("medusa.edge_src", g.num_arcs() as usize)?;
-        let _d_edst = ctx.alloc("medusa.edge_dst", g.num_arcs() as usize)?;
-        let d_flag = ctx.alloc("medusa.flag", 1)?;
+        let _d_esrc =
+            ctx.alloc_tagged("medusa.edge_src", g.num_arcs() as usize, SizeClass::PerArc)?;
+        let _d_edst =
+            ctx.alloc_tagged("medusa.edge_dst", g.num_arcs() as usize, SizeClass::PerArc)?;
+        let d_flag = ctx.alloc_tagged("medusa.flag", 1, SizeClass::Fixed)?;
         Ok(MedusaDev {
             n,
             d_offsets,
@@ -172,8 +176,8 @@ pub fn mpm_in(
         return Ok((Vec::new(), 0));
     }
     let dev = MedusaDev::load(ctx, g)?;
-    let d_a = ctx.htod("medusa.a", &g.degrees())?;
-    let d_a_new = ctx.alloc("medusa.a_new", n)?;
+    let d_a = ctx.htod_tagged("medusa.a", &g.degrees(), SizeClass::PerVertex)?;
+    let d_a_new = ctx.alloc_tagged("medusa.a_new", n, SizeClass::PerVertex)?;
 
     let mut iterations = 0u64;
     let mut bufs = [d_a, d_a_new]; // ping-pong
@@ -287,9 +291,9 @@ pub fn peel_in(
         return Ok((Vec::new(), 0));
     }
     let dev = MedusaDev::load(ctx, g)?;
-    let d_deg = ctx.htod("medusa.deg", &g.degrees())?;
-    let d_core = ctx.alloc("medusa.core", n)?;
-    let d_deleted = ctx.alloc("medusa.deleted", n)?;
+    let d_deg = ctx.htod_tagged("medusa.deg", &g.degrees(), SizeClass::PerVertex)?;
+    let d_core = ctx.alloc_tagged("medusa.core", n, SizeClass::PerVertex)?;
+    let d_deleted = ctx.alloc_tagged("medusa.deleted", n, SizeClass::PerVertex)?;
 
     let mut iterations = 0u64;
     let mut total_deleted = 0u64;

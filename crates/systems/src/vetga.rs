@@ -16,7 +16,7 @@
 //! loader.
 
 use crate::{FrameworkCosts, SystemRun};
-use kcore_gpusim::{BlockCtx, GpuContext, LaunchConfig, SimError, SimOptions};
+use kcore_gpusim::{BlockCtx, GpuContext, LaunchConfig, SimError, SimOptions, SizeClass};
 use kcore_graph::Csr;
 use std::sync::atomic::Ordering;
 
@@ -84,6 +84,7 @@ pub fn peel_in(
     // Tensors: src/dst per arc (COO, what torch scatter ops consume), plus
     // degree / alive / frontier / contribution vectors.
     ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, g.num_arcs());
     let mut src = vec![0u32; m_arcs];
     for v in 0..g.num_vertices() {
         let (s, e) = (
@@ -92,13 +93,13 @@ pub fn peel_in(
         );
         src[s..e].fill(v);
     }
-    let d_src = ctx.htod("vetga.src", &src)?;
-    let d_dst = ctx.htod("vetga.dst", g.neighbor_array())?;
-    let d_deg = ctx.htod("vetga.deg", &g.degrees())?;
-    let d_core = ctx.alloc("vetga.core", n)?;
-    let d_alive = ctx.alloc("vetga.alive", n)?;
-    let d_frontier = ctx.alloc("vetga.frontier", n)?;
-    let d_contrib = ctx.alloc("vetga.contrib", m_arcs)?;
+    let d_src = ctx.htod_tagged("vetga.src", &src, SizeClass::PerArc)?;
+    let d_dst = ctx.htod_tagged("vetga.dst", g.neighbor_array(), SizeClass::PerArc)?;
+    let d_deg = ctx.htod_tagged("vetga.deg", &g.degrees(), SizeClass::PerVertex)?;
+    let d_core = ctx.alloc_tagged("vetga.core", n, SizeClass::PerVertex)?;
+    let d_alive = ctx.alloc_tagged("vetga.alive", n, SizeClass::PerVertex)?;
+    let d_frontier = ctx.alloc_tagged("vetga.frontier", n, SizeClass::PerVertex)?;
+    let d_contrib = ctx.alloc_tagged("vetga.contrib", m_arcs, SizeClass::PerArc)?;
     ctx.device.fill(d_alive, 1);
 
     let nn = n as u64;

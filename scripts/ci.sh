@@ -60,4 +60,18 @@ else
   exit 1
 fi
 
+echo "== memreport smoke (capacity forecasts + schema-v3 round-trip) =="
+# --check asserts that the paper's peeling kernel is predicted to fit in
+# 16 GB on every smoke dataset, and that a schema-v3 trace survives
+# to_json -> regress::parse_json with its memstats block intact.
+mem_results="$(mktemp -d)"
+KCORE_SMOKE=1 KCORE_DATASETS=amazon0601,wiki-Talk KCORE_CACHE_DIR="$cache_dir" \
+  KCORE_RESULTS_DIR="$mem_results" ./target/release/memreport --check > /dev/null
+if [[ ! -s "$mem_results/table_mem.json" ]]; then
+  echo "ERROR: memreport did not write table_mem.json" >&2
+  exit 1
+fi
+rm -rf "$mem_results"
+echo "memreport smoke OK"
+
 echo "== ci.sh: all green =="

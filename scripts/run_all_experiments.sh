@@ -24,6 +24,11 @@ for t in table1 table2 table3 table4 table5 fig10_case_study; do
   ./target/release/$t | tee "results/$t.txt"
 done
 
+# Full-scale P100 capacity report (memstats extrapolation; predicted-OOM
+# cells must line up with the N/A cells of tables 3 and 5).
+echo "== memreport =="
+./target/release/memreport | tee "results/table_mem.txt"
+
 echo "== criterion micro-benchmarks =="
 cargo bench -p kcore-bench
 

@@ -173,7 +173,7 @@ fn trace_matches_checked_in_golden() {
 
 #[test]
 fn mismatched_schema_versions_are_refused_not_diffed() {
-    let got = r#"{"schema_version": 2, "fingerprint": "0x0", "phases": []}"#;
+    let got = r#"{"schema_version": 3, "fingerprint": "0x0", "phases": []}"#;
     // identical content except for the version: must refuse, not pass
     let stale = r#"{"schema_version": 99, "fingerprint": "0x0", "phases": []}"#;
     let err = compare_golden(got, stale).unwrap_err();
@@ -185,6 +185,66 @@ fn mismatched_schema_versions_are_refused_not_diffed() {
     assert!(err.contains("schema 1"), "unexpected message: {err}");
     // same schema, same bytes: accepted
     assert!(compare_golden(got, got).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Memory observability (memstats) determinism
+// ---------------------------------------------------------------------------
+
+/// The memstats snapshot embedded in a trace is itself golden-pinned: the
+/// full JSON (ledger, phase watermarks, transfer rollup, peak live set) is
+/// byte-identical across runs and rayon pool sizes, and its transfer totals
+/// agree with the trace totals the `peel_rmat9.json` golden pins.
+#[test]
+fn memstats_matches_checked_in_golden() {
+    let trace = capture("memstats-golden");
+    // internal consistency with the trace this snapshot rode in on
+    assert_eq!(trace.memstats.h2d_bytes, trace.totals.h2d_bytes);
+    assert_eq!(trace.memstats.d2h_bytes, trace.totals.d2h_bytes);
+    let got = trace.memstats.to_json();
+
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let again = pool
+            .install(|| capture("memstats-golden"))
+            .memstats
+            .to_json();
+        assert_eq!(again, got, "memstats diverged with {threads} rayon threads");
+    }
+
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/peel_rmat9_memstats.json");
+    if std::env::var("KCORE_BLESS").is_ok() {
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with KCORE_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    // memstats has its own schema version; refuse cross-schema diffs the
+    // same way compare_golden does for traces
+    let want_schema = golden_schema(&want);
+    assert_eq!(
+        want_schema,
+        kcore_gpusim::MEMSTATS_SCHEMA_VERSION as u64,
+        "golden memstats blessed under schema {want_schema}, current is {}; \
+         refusing to diff across schemas — regenerate with KCORE_BLESS=1",
+        kcore_gpusim::MEMSTATS_SCHEMA_VERSION
+    );
+    assert_eq!(
+        got,
+        want,
+        "memstats diverged from {}; if the memory-accounting change is \
+         intentional, regenerate with KCORE_BLESS=1",
+        path.display()
+    );
 }
 
 // ---------------------------------------------------------------------------
