@@ -44,11 +44,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod config;
+pub mod dynamic;
 pub mod mpm_gpu;
 pub mod multi_gpu;
 pub mod peel;
 
 pub use config::{Buffering, Compaction, ExecPath, PeelConfig};
+pub use dynamic::{BatchPath, BatchReport, DynamicConfig, DynamicCore};
 pub use kcore_gpusim::SimOptions;
 pub use multi_gpu::{decompose_multi, MultiGpuConfig, MultiGpuRun};
 pub use peel::{decompose, decompose_in, GpuRun};

@@ -12,9 +12,24 @@
 //! subcore instead of re-running a full decomposition.
 
 use crate::bz;
-use kcore_graph::{Csr, GraphBuilder};
+use kcore_graph::{Csr, EdgeUpdate, GraphBuilder};
 use rustc_hash::FxHashMap;
 use rustc_hash::FxHashSet;
+
+/// What happened to each update of an [`DynamicGraph::apply_batch`] call.
+///
+/// `rejected` counts self-loops, out-of-range endpoints, duplicate inserts
+/// and deletes of absent edges — evaluated *sequentially*, so an
+/// insert-then-delete of the same fresh edge within one batch applies both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Insertions that changed the graph.
+    pub inserted: usize,
+    /// Deletions that changed the graph.
+    pub deleted: usize,
+    /// Updates that were no-ops.
+    pub rejected: usize,
+}
 
 /// A mutable graph with continuously maintained core numbers.
 #[derive(Debug, Clone)]
@@ -63,10 +78,23 @@ impl DynamicGraph {
     }
 
     /// Exports the current graph (for cross-checking).
+    ///
+    /// Each undirected edge is stored twice in `adj` (once per endpoint)
+    /// and emitted once, from the lower endpoint, via the strict `<` below.
+    /// Strict `<` would also *silently drop* any self-loop (`u == v`
+    /// matches neither direction) — so the method asserts the adjacency
+    /// holds none. The invariant is real, not incidental: self-loops are
+    /// **rejected** at [`DynamicGraph::insert_edge`] (it returns `false`),
+    /// never normalized away later, and [`DynamicGraph::from_csr`] imports
+    /// from [`Csr`], whose builder already drops them.
     pub fn to_csr(&self) -> Csr {
         let mut b = GraphBuilder::with_num_vertices(self.adj.len() as u32);
         for (v, ns) in self.adj.iter().enumerate() {
             for &u in ns {
+                assert!(
+                    v as u32 != u,
+                    "DynamicGraph invariant broken: self-loop {u}-{u} in adjacency"
+                );
                 if (v as u32) < u {
                     b.add_edge(v as u32, u);
                 }
@@ -234,6 +262,84 @@ impl DynamicGraph {
         }
         true
     }
+
+    /// Applies a batch of updates **in order**, repairing cores after each,
+    /// and reports how many took effect. This is the batch oracle the GPU
+    /// maintenance engine (`kcore-gpu::dynamic`) is differentially tested
+    /// against: because core numbers are a function of the final graph
+    /// alone, any engine that applies the same *net* edge set must end in
+    /// exactly this state, whatever order or batching it uses internally.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &up in updates {
+            let applied = match up {
+                EdgeUpdate::Insert(u, v) => {
+                    let ok = self.insert_edge(u, v);
+                    if ok {
+                        out.inserted += 1;
+                    }
+                    ok
+                }
+                EdgeUpdate::Delete(u, v) => {
+                    let ok = self.remove_edge(u, v);
+                    if ok {
+                        out.deleted += 1;
+                    }
+                    ok
+                }
+            };
+            if !applied {
+                out.rejected += 1;
+            }
+        }
+        out
+    }
+
+    /// Reference MCD (*maximum core degree*) of every vertex:
+    /// `mcd(v) = |{u ∈ N(v) : core(u) ≥ core(v)}|` — the number of
+    /// neighbors that can possibly support `v` at its current level
+    /// (Snippet 3's `computeMcd`, Sariyüce et al.). Computed from scratch
+    /// on demand so the oracle stays obviously correct; the GPU engine
+    /// maintains the same counter incrementally and is checked against
+    /// this.
+    ///
+    /// For a core-`k` vertex, `mcd` *equals* its deletion-cascade support
+    /// (`|{u ∈ N(v): core(u) ≥ k}|`), and upper-bounds its insertion
+    /// support, so `mcd(v) ≤ core(v)` would contradict the k-core property
+    /// — `mcd(v) ≥ core(v)` always holds (the invariant proptest below).
+    pub fn mcd(&self) -> Vec<u32> {
+        (0..self.adj.len())
+            .map(|v| {
+                let cv = self.core[v];
+                self.adj[v]
+                    .iter()
+                    .filter(|&&u| self.core[u as usize] >= cv)
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    /// Reference PCD (*potential core degree*) of every vertex:
+    /// `pcd(v) = |{u ∈ N(v) : core(u) > core(v), or core(u) == core(v) and
+    /// mcd(u) > core(v)}|` — neighbors that could still support `v` at
+    /// level `core(v) + 1` after an insertion. If `pcd(v) ≤ core(v)` then
+    /// `v` cannot rise, which is how the engines prune insertion root sets
+    /// before traversing a subcore.
+    pub fn pcd(&self) -> Vec<u32> {
+        let mcd = self.mcd();
+        (0..self.adj.len())
+            .map(|v| {
+                let cv = self.core[v];
+                self.adj[v]
+                    .iter()
+                    .filter(|&&u| {
+                        let cu = self.core[u as usize];
+                        cu > cv || (cu == cv && mcd[u as usize] > cv)
+                    })
+                    .count() as u32
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +460,137 @@ mod tests {
         let mut dg = DynamicGraph::from_csr(&g);
         assert!(dg.insert_edge(0, 19));
         assert_eq!(dg.cores(), &vec![2; 20][..]);
+    }
+
+    #[test]
+    fn delete_of_absent_edge_is_a_clean_noop() {
+        let mut dg = DynamicGraph::new(4);
+        assert!(dg.insert_edge(0, 1));
+        let before = dg.clone();
+        assert!(!dg.remove_edge(0, 2)); // never existed
+        assert!(!dg.remove_edge(2, 3)); // between isolated vertices
+        assert!(!dg.remove_edge(0, 7)); // out of range
+        assert!(!dg.remove_edge(2, 2)); // self-loop
+        assert_eq!(dg.cores(), before.cores());
+        assert_eq!(dg.degree(0), 1);
+        assert!(dg.remove_edge(1, 0)); // direction-insensitive removal still works
+        assert_eq!(dg.cores(), &[0; 4]);
+    }
+
+    #[test]
+    fn insert_into_edgeless_graph() {
+        let mut dg = DynamicGraph::new(6);
+        assert_eq!(dg.cores(), &[0; 6]);
+        assert_eq!(dg.to_csr().num_edges(), 0);
+        assert!(dg.insert_edge(4, 5));
+        assert_eq!(dg.cores(), &[0, 0, 0, 0, 1, 1]);
+        assert_eq!(dg.mcd(), vec![0, 0, 0, 0, 1, 1]);
+        assert_cores_fresh(&dg, "first edge into edgeless graph");
+    }
+
+    #[test]
+    fn churn_empties_then_rebuilds_component() {
+        // build a triangle, tear it down to nothing, rebuild it elsewhere
+        let mut dg = DynamicGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            assert!(dg.insert_edge(u, v));
+        }
+        assert_eq!(dg.cores()[..3], [2, 2, 2]);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            assert!(dg.remove_edge(u, v));
+        }
+        assert_eq!(dg.cores(), &[0; 6]);
+        assert_eq!(dg.to_csr().num_edges(), 0);
+        assert_eq!(dg.mcd(), vec![0; 6]);
+        for (u, v) in [(3, 4), (4, 5), (5, 3)] {
+            assert!(dg.insert_edge(u, v));
+        }
+        assert_eq!(dg.cores(), &[0, 0, 0, 2, 2, 2]);
+        assert_cores_fresh(&dg, "rebuilt component");
+    }
+
+    #[test]
+    fn apply_batch_counts_and_applies_in_order() {
+        let mut dg = DynamicGraph::new(5);
+        let out = dg.apply_batch(&[
+            EdgeUpdate::Insert(0, 1),
+            EdgeUpdate::Insert(1, 0), // duplicate (orientation-insensitive)
+            EdgeUpdate::Insert(2, 2), // self-loop
+            EdgeUpdate::Insert(1, 2),
+            EdgeUpdate::Delete(0, 1), // deletes the edge inserted above
+            EdgeUpdate::Delete(0, 1), // now absent
+            EdgeUpdate::Insert(0, 9), // out of range
+        ]);
+        assert_eq!(
+            out,
+            BatchOutcome {
+                inserted: 2,
+                deleted: 1,
+                rejected: 4
+            }
+        );
+        assert_eq!(dg.cores(), &[0, 1, 1, 0, 0]);
+        assert_cores_fresh(&dg, "after batch");
+    }
+
+    #[test]
+    fn mcd_pcd_on_fig1() {
+        let dg = DynamicGraph::from_csr(&kcore_graph::fig1_graph());
+        let (mcd, pcd) = (dg.mcd(), dg.pcd());
+        for v in 0..dg.num_vertices() {
+            let c = dg.core(v as u32);
+            assert!(mcd[v] >= c, "mcd({v}) = {} < core = {c}", mcd[v]);
+            assert!(pcd[v] <= mcd[v], "pcd({v}) > mcd({v})");
+        }
+        // the 3-shell K4: every member sees all 3 clique neighbors at core 3
+        assert_eq!(&mcd[..4], &[3, 3, 3, 3]);
+    }
+}
+
+#[cfg(test)]
+mod counter_invariants {
+    use super::*;
+    use kcore_graph::builder::from_edges;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// MCD/PCD invariants on random dynamic graphs after random churn:
+        /// `core(v) ≤ mcd(v) ≤ deg(v)` and `pcd(v) ≤ mcd(v)`, and both
+        /// counters recompute identically after a to_csr round-trip
+        /// (they are functions of the graph + cores only).
+        #[test]
+        fn mcd_pcd_invariants_hold_under_churn(
+            n in 2u32..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+            churn in proptest::collection::vec((0u32..2, 0u32..40, 0u32..40), 0..60),
+        ) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .filter(|&(u, v)| u < n && v < n)
+                .collect();
+            let mut dg = DynamicGraph::from_csr(&from_edges(n, &edges));
+            let ups: Vec<EdgeUpdate> = churn
+                .into_iter()
+                .map(|(ins, u, v)| {
+                    let (u, v) = (u % n, v % n);
+                    if ins == 0 { EdgeUpdate::Insert(u, v) } else { EdgeUpdate::Delete(u, v) }
+                })
+                .collect();
+            dg.apply_batch(&ups);
+            let (mcd, pcd) = (dg.mcd(), dg.pcd());
+            for v in 0..n {
+                let (c, d) = (dg.core(v), dg.degree(v));
+                prop_assert!(mcd[v as usize] >= c, "mcd({v}) < core({v})");
+                prop_assert!(mcd[v as usize] <= d, "mcd({v}) > deg({v})");
+                prop_assert!(pcd[v as usize] <= mcd[v as usize], "pcd({v}) > mcd({v})");
+            }
+            // counters are pure functions of (graph, cores)
+            let again = DynamicGraph::from_csr(&dg.to_csr());
+            prop_assert_eq!(again.cores(), dg.cores());
+            prop_assert_eq!(again.mcd(), mcd);
+            prop_assert_eq!(again.pcd(), pcd);
+        }
     }
 }

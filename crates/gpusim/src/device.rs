@@ -42,6 +42,12 @@ pub enum SizeClass {
     /// Size independent of the graph (device counters, flags, buffers of
     /// configuration-chosen capacity).
     Fixed,
+    /// Size proportional to the dynamic-update batch capacity, not the
+    /// graph: staging buffers for edge-churn batches. Extrapolates like
+    /// `Fixed` (a full-scale run ships the same batches), but stays
+    /// distinguishable in capacity reports so the maintenance engine's
+    /// scratch is separable from graph state.
+    Batch,
 }
 
 /// One allocation's life in the ledger. Timestamps come in three flavors:

@@ -710,6 +710,49 @@ impl GpuContext {
         Ok(id)
     }
 
+    /// `cudaMemcpy` host→device into an **existing** allocation starting at
+    /// element `offset` — the staging pattern of the dynamic maintenance
+    /// engine, which reuses one persistent batch buffer across batches
+    /// instead of allocating per batch. Charged exactly like
+    /// [`GpuContext::htod`]; panics (host-program bug, like any
+    /// out-of-bounds `cudaMemcpy`) if the copy overruns the buffer.
+    pub fn htod_into(&mut self, id: BufferId, offset: usize, data: &[u32]) -> Result<(), SimError> {
+        self.check_limit()?;
+        let buf = self.device.buffer(id);
+        assert!(
+            offset + data.len() <= buf.len(),
+            "htod_into overruns buffer {} ({} + {} > {})",
+            self.device.buffer_name(id),
+            offset,
+            data.len(),
+            buf.len()
+        );
+        for (i, &w) in data.iter().enumerate() {
+            buf[offset + i].store(w, Ordering::Relaxed);
+        }
+        self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
+        Ok(())
+    }
+
+    /// `cudaMemcpy` device→host of elements `lo..hi` only, charged for the
+    /// bytes actually moved — the partial readback the dynamic engine uses
+    /// to fetch just a candidate list's prefix.
+    pub fn dtoh_range(&mut self, id: BufferId, lo: usize, hi: usize) -> Vec<u32> {
+        let buf = self.device.buffer(id);
+        assert!(
+            lo <= hi && hi <= buf.len(),
+            "dtoh_range {lo}..{hi} out of bounds for buffer {} (len {})",
+            self.device.buffer_name(id),
+            buf.len()
+        );
+        let out: Vec<u32> = buf[lo..hi]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        self.record_transfer(TransferDir::DeviceToHost, (hi - lo) as u64 * 4);
+        out
+    }
+
     /// `cudaMemcpy` device→host, charged at PCIe latency + bandwidth (a
     /// synchronizing copy — Algorithm 1 pays this every round for
     /// `gpu_count`).
@@ -1391,6 +1434,37 @@ mod tests {
         assert!((l.start_s - t0.time_s).abs() < 1e-15);
         assert_eq!(l.block_cycles, vec![10.0, 20.0, 30.0]);
         assert!((c.elapsed_ms() / 1e3 - (l.start_s + l.time_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn htod_into_and_dtoh_range_are_charged_partial_copies() {
+        let mut c = ctx();
+        let buf = c.htod("stage", &[0u32; 16]).unwrap();
+        let (h2d0, d2h0) = (c.report().h2d_bytes, c.report().d2h_bytes);
+        let transfers0 = c.transfers().len();
+        c.htod_into(buf, 4, &[7, 8, 9]).unwrap();
+        assert_eq!(c.report().h2d_bytes - h2d0, 12);
+        let got = c.dtoh_range(buf, 3, 8);
+        assert_eq!(got, vec![0, 7, 8, 9, 0]);
+        assert_eq!(c.report().d2h_bytes - d2h0, 20);
+        // both copies are recorded (phase-stamped) transfer events
+        assert_eq!(c.transfers().len() - transfers0, 2);
+        // full readback still sees the in-place write, and no reallocation
+        // happened: the ledger holds exactly one entry for the buffer
+        assert_eq!(c.dtoh(buf)[4..7], [7, 8, 9]);
+        let ms = c.memstats();
+        assert_eq!(
+            ms.allocations.iter().filter(|a| a.name == "stage").count(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "htod_into overruns")]
+    fn htod_into_overrun_panics() {
+        let mut c = ctx();
+        let buf = c.htod("small", &[0u32; 4]).unwrap();
+        let _ = c.htod_into(buf, 2, &[1, 2, 3]);
     }
 
     #[test]

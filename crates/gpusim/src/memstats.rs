@@ -137,7 +137,7 @@ fn scaled_entry_bytes(e: &LedgerEntry, stats: &MemStats, full_n: u64, full_arcs:
     match e.size_class {
         SizeClass::PerVertex => scale_bytes(e.bytes, full_n, stats.sim_vertices),
         SizeClass::PerArc => scale_bytes(e.bytes, full_arcs, stats.sim_arcs),
-        SizeClass::Fixed => e.bytes,
+        SizeClass::Fixed | SizeClass::Batch => e.bytes,
     }
 }
 

@@ -45,10 +45,12 @@ pub mod gen;
 pub mod io;
 pub mod recode;
 pub mod stats;
+pub mod update;
 
 pub use builder::{BuildPath, GraphBuilder};
 pub use csr::{Csr, VertexId};
 pub use stats::GraphStats;
+pub use update::EdgeUpdate;
 
 /// Canonical example graph of the paper's Fig. 1.
 ///

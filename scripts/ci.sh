@@ -74,4 +74,20 @@ fi
 rm -rf "$mem_results"
 echo "memreport smoke OK"
 
+echo "== dynamic maintenance smoke (batched engine vs oracle) =="
+# --check replays the CI-sized churn stream through the batched GPU
+# maintenance engine, verifies every run's final cores against a
+# from-scratch BZ peel, and drives one pure-insert batch plus one
+# pure-delete batch oracle-checked after each. Results go to a throwaway
+# dir so the full-scale results/table_dynamic.json is never overwritten.
+dyn_results="$(mktemp -d)"
+KCORE_SMOKE=1 KCORE_RESULTS_DIR="$dyn_results" \
+  ./target/release/table_dynamic --check > /dev/null
+if [[ ! -s "$dyn_results/table_dynamic.json" ]]; then
+  echo "ERROR: table_dynamic did not write table_dynamic.json" >&2
+  exit 1
+fi
+rm -rf "$dyn_results"
+echo "dynamic smoke OK"
+
 echo "== ci.sh: all green =="

@@ -19,7 +19,7 @@ export KCORE_CACHE_DIR="${KCORE_CACHE_DIR:-$PWD/.kcore-cache}"
 
 cargo build --release -p kcore-bench
 
-for t in table1 table2 table3 table4 table5 fig10_case_study; do
+for t in table1 table2 table3 table4 table5 table_dynamic fig10_case_study; do
   echo "== $t =="
   ./target/release/$t | tee "results/$t.txt"
 done
