@@ -31,6 +31,14 @@ fn status_of(res: &Result<Vec<u32>, SimError>, truth: &[u32]) -> &'static str {
     }
 }
 
+/// Arms `ctx` with a wall-clock host profiler so the snapshot's
+/// informational host-time fields are populated. Host profiling observes
+/// only — simulated times, counters and fingerprints are unaffected.
+fn arm(mut ctx: GpuContext) -> GpuContext {
+    ctx.set_host_profiler(Some(kcore_gpusim::HostProfiler::wall()));
+    ctx
+}
+
 fn entry(
     ctx: &mut GpuContext,
     dataset: &str,
@@ -38,6 +46,10 @@ fn entry(
     res: Result<Vec<u32>, SimError>,
     truth: &[u32],
 ) -> Entry {
+    let host = ctx.host_profile(&format!("{impl_name} on {dataset}"));
+    let (host_ms, host_attributed_ms) = host
+        .map(|p| (p.total_s * 1e3, p.attributed_s() * 1e3))
+        .unwrap_or((0.0, 0.0));
     let trace = ctx.trace(format!("{impl_name} on {dataset} (record_bench)"));
     Entry {
         dataset: dataset.into(),
@@ -46,6 +58,8 @@ fn entry(
         sim_ms: trace.totals.time_ms,
         launches: trace.totals.launches,
         counters_fingerprint: trace.counters_fingerprint(),
+        host_ms,
+        host_attributed_ms,
         hotspots: trace
             .hotspots
             .iter()
@@ -77,7 +91,7 @@ fn main() {
         let costs = FrameworkCosts::default().scaled(e.scale);
         let name = e.dataset.name;
         {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res =
                 kcore_gpu::decompose_in(&mut ctx, &e.graph, &e.peel_cfg).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "Ours", res, &e.truth));
@@ -92,30 +106,32 @@ fn main() {
                 sim_ms: 0.0,
                 launches: 0,
                 counters_fingerprint: 0,
+                host_ms: 0.0,
+                host_attributed_ms: 0.0,
                 hotspots: Vec::new(),
             });
         } else {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res = vetga::peel_in(&mut ctx, &e.graph, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "VETGA", res, &e.truth));
         }
         {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res = medusa::mpm_in(&mut ctx, &e.graph, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "Medusa-MPM", res, &e.truth));
         }
         {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res = medusa::peel_in(&mut ctx, &e.graph, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "Medusa-Peel", res, &e.truth));
         }
         {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res = gunrock::peel_in(&mut ctx, &e.graph, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "Gunrock", res, &e.truth));
         }
         {
-            let mut ctx = e.sim.context();
+            let mut ctx = arm(e.sim.context());
             let res = gswitch::peel_in(&mut ctx, &e.graph, e.k_max, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "GSwitch", res, &e.truth));
         }

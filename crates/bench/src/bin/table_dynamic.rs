@@ -49,6 +49,9 @@ struct Table {
     /// Measured: net updates at which one full re-peel costs less than
     /// per-edge maintenance (derived from the largest-batch run).
     crossover_updates: u64,
+    /// [`DynamicConfig::auto_crossover`] on the same measurements — what the
+    /// engine would pick as its fallback threshold if tuned from this run.
+    auto_crossover: usize,
     /// Configured: net-update count at which the engine falls back.
     configured_crossover: usize,
     rows: Vec<Row>,
@@ -174,6 +177,8 @@ fn main() {
     // largest-batch run (best amortization) vs one full re-peel.
     let per_update_ms = rows.last().unwrap().sim_ms / updates as f64;
     let crossover_updates = (repeel_avg_ms / per_update_ms).ceil() as u64;
+    // The engine-side derivation of the same break-even point.
+    let auto_crossover = DynamicConfig::auto_crossover(repeel_avg_ms, per_update_ms);
 
     let headers: Vec<String> = [
         "Batch", "sim ms", "upd/s", "vs peel", "repeels", "pruned", "cand", "changed",
@@ -218,7 +223,8 @@ fn main() {
         repeel_ms.len()
     );
     println!(
-        "crossover: one re-peel ≈ {crossover_updates} maintained updates (engine falls back at \
+        "crossover: one re-peel ≈ {crossover_updates} maintained updates \
+         (auto_crossover would set {auto_crossover}; engine falls back at \
          {} net updates/batch)",
         dyn_cfg.crossover
     );
@@ -237,12 +243,30 @@ fn main() {
             repeel_avg_ms,
             baseline_updates_per_sec: baseline_ups,
             crossover_updates,
+            auto_crossover,
             configured_crossover: dyn_cfg.crossover,
             rows,
         },
     );
 
     if check {
+        // The derived fallback threshold must sit exactly at the measured
+        // break-even point: re-peel pays off at `auto_crossover` updates
+        // and not one sooner.
+        assert!(
+            per_update_ms * auto_crossover as f64 >= repeel_avg_ms,
+            "auto_crossover {auto_crossover} below break-even \
+             (per-update {per_update_ms:.4} ms, re-peel {repeel_avg_ms:.4} ms)"
+        );
+        assert!(
+            per_update_ms * ((auto_crossover - 1) as f64) < repeel_avg_ms,
+            "auto_crossover {auto_crossover} is not minimal \
+             (per-update {per_update_ms:.4} ms, re-peel {repeel_avg_ms:.4} ms)"
+        );
+        assert_eq!(
+            auto_crossover as u64, crossover_updates,
+            "engine-derived crossover diverges from the table's measured one"
+        );
         // The ci.sh dynamic smoke proper: one pure-insert batch followed by
         // one pure-delete batch of the same edges, oracle-checked after each.
         let mut dc = DynamicCore::from_csr(&SimOptions::default(), &g, dyn_cfg.clone())

@@ -319,6 +319,18 @@ pub fn save_timeline(name: &str, timeline: &kcore_gpusim::Timeline) {
     eprintln!("[saved {}]", path.display());
 }
 
+/// Writes a [`HostProfile`](kcore_gpusim::HostProfile) as pretty-printed
+/// JSON into `results/traces/<name>.hostprof.json`. Host profiles live in
+/// their own schema-versioned files beside the trace — they are wall-clock
+/// observations, never part of a golden trace or fingerprint.
+pub fn save_hostprof(name: &str, profile: &kcore_gpusim::HostProfile) {
+    let dir = results_dir().join("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path = dir.join(format!("{name}.hostprof.json"));
+    std::fs::write(&path, profile.to_json()).expect("write host profile");
+    eprintln!("[saved {}]", path.display());
+}
+
 /// Serializes rows as JSON into `results/<name>.json`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));

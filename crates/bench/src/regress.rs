@@ -61,6 +61,15 @@ pub struct Entry {
     /// fingerprints mean the same simulated workload, so a sim-time delta is
     /// a cost-model or scheduling change, not an algorithm change.
     pub counters_fingerprint: u64,
+    /// Host wall-clock for the run, ms — **informational only**. Real time
+    /// varies with machine load, so this never participates in the
+    /// regression gate; `0.0` when host profiling was off. Snapshots
+    /// written before this field existed simply lack it (the parser treats
+    /// a missing key as absent, so diffs stay quiet about it).
+    pub host_ms: f64,
+    /// Host wall-clock attributed to named buckets by the host profiler,
+    /// ms — informational, like [`Entry::host_ms`].
+    pub host_attributed_ms: f64,
     /// Per-kernel hotspot summary, worst kernel first.
     pub hotspots: Vec<HotspotSummary>,
 }
@@ -201,8 +210,19 @@ pub fn diff(prev: &Value, cur: &Snapshot) -> DiffReport {
             } else {
                 ""
             };
+        // Host wall-clock note: purely informational (never a regression —
+        // real time depends on the machine, not the simulated workload).
+        let old_host = get(old, "host_ms").and_then(as_f64).unwrap_or(0.0);
+        let host_note = if old_host > 0.0 && e.host_ms > 0.0 {
+            format!(
+                "  [host {old_host:.1} ms -> {:.1} ms, informational]",
+                e.host_ms
+            )
+        } else {
+            String::new()
+        };
         rep.lines.push(format!(
-            "  {key}: {old_ms:.3} ms -> {:.3} ms ({:+.1}%){fp_note}",
+            "  {key}: {old_ms:.3} ms -> {:.3} ms ({:+.1}%){fp_note}{host_note}",
             e.sim_ms,
             delta * 100.0
         ));
@@ -515,6 +535,8 @@ mod tests {
             sim_ms: ms,
             launches: 10,
             counters_fingerprint: fp,
+            host_ms: 7.5,
+            host_attributed_ms: 7.2,
             hotspots: vec![HotspotSummary {
                 kernel: "loop".into(),
                 launches: 5,
@@ -591,6 +613,33 @@ mod tests {
         assert_eq!(rep.regressions.len(), 1, "{:?}", rep.regressions);
         assert!(rep.regressions[0].contains("Gunrock"));
         assert!(rep.failed());
+    }
+
+    #[test]
+    fn host_time_fields_round_trip_and_never_gate() {
+        let s = snap(0, vec![entry("a", "Ours", 10.0, 1)]);
+        let v = parse_json(&serde_json::to_string_pretty(&s).unwrap()).unwrap();
+        let entries = get(&v, "entries").and_then(as_array).unwrap();
+        assert_eq!(get(&entries[0], "host_ms").and_then(as_f64), Some(7.5));
+        assert_eq!(
+            get(&entries[0], "host_attributed_ms").and_then(as_f64),
+            Some(7.2)
+        );
+        // A 100x host-time blowup with identical sim time is informational
+        // only — never a regression.
+        let mut slow_host = entry("a", "Ours", 10.0, 1);
+        slow_host.host_ms = 750.0;
+        let rep = diff(&v, &snap(1, vec![slow_host]));
+        assert!(!rep.failed(), "{:?}", rep.regressions);
+        assert!(rep.lines[0].contains("informational"), "{:?}", rep.lines);
+        // Pre-host-field snapshots (no host_ms key) diff silently.
+        let old = parse_json(
+            r#"{"schema_version": 1, "mode": "smoke", "entries": [{"dataset": "a", "impl_name": "Ours", "status": "ok", "sim_ms": 10.0, "counters_fingerprint": 1}]}"#,
+        )
+        .unwrap();
+        let rep = diff(&old, &snap(1, vec![entry("a", "Ours", 10.0, 1)]));
+        assert!(!rep.failed());
+        assert!(!rep.lines[0].contains("host"), "{:?}", rep.lines);
     }
 
     #[test]

@@ -81,6 +81,38 @@ impl Default for DynamicConfig {
     }
 }
 
+impl DynamicConfig {
+    /// Derives the maintenance/re-peel crossover from measured costs: the
+    /// smallest net-update count at which one from-scratch peel
+    /// (`repeel_ms`) is no more expensive than per-edge maintenance at
+    /// `per_update_ms` each — i.e. `ceil(repeel_ms / per_update_ms)`.
+    ///
+    /// Degenerate inputs keep the engine on a sane path: a non-positive
+    /// `per_update_ms` (maintenance is free or unmeasured) disables the
+    /// fallback (`usize::MAX`), a non-positive `repeel_ms` makes every
+    /// non-empty batch re-peel (`1`).
+    pub fn auto_crossover(repeel_ms: f64, per_update_ms: f64) -> usize {
+        if per_update_ms <= 0.0 || !per_update_ms.is_finite() {
+            return usize::MAX;
+        }
+        if repeel_ms <= 0.0 || !repeel_ms.is_finite() {
+            return 1;
+        }
+        let ratio = (repeel_ms / per_update_ms).ceil();
+        if ratio >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            (ratio as usize).max(1)
+        }
+    }
+
+    /// [`Self::auto_crossover`] applied in place.
+    pub fn with_auto_crossover(mut self, repeel_ms: f64, per_update_ms: f64) -> Self {
+        self.crossover = Self::auto_crossover(repeel_ms, per_update_ms);
+        self
+    }
+}
+
 /// Which path [`DynamicCore::apply_batch`] took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchPath {
@@ -251,6 +283,7 @@ impl DynamicCore {
     /// first, each with its own theorem-backed traversal — or, past
     /// [`DynamicConfig::crossover`], by one from-scratch peel.
     pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<BatchReport, SimError> {
+        let _batch_span = self.ctx.host_span("dynamic/batch");
         let t0 = self.ctx.elapsed_ms();
         let mut rep = BatchReport {
             accepted_inserts: 0,
@@ -266,6 +299,7 @@ impl DynamicCore {
             rebuilds: self.rebuilds,
             sim_ms: 0.0,
         };
+        let classify_span = self.ctx.host_span("dynamic/classify");
         self.ctx.set_phase("DynClassify");
         let n = self.n as u32;
         // Presence of each touched edge after the batch prefix seen so far.
@@ -316,14 +350,17 @@ impl DynamicCore {
         }
         rep.groups = groups.into_iter().collect();
 
+        drop(classify_span);
         let net = net_del.len() + net_ins.len();
         if net == 0 {
             rep.path = BatchPath::Noop;
         } else if net >= self.cfg.crossover {
             rep.path = BatchPath::Repeeled;
+            let _repeel_span = self.ctx.host_span("dynamic/repeel");
             self.repeel(&net_del, &net_ins)?;
         } else {
             rep.path = BatchPath::Maintained;
+            let _maintain_span = self.ctx.host_span("dynamic/maintain");
             let chunk_cap = self.cfg.batch_capacity.max(1);
             let all: Vec<(bool, u32, u32)> = net_del
                 .iter()
@@ -1381,6 +1418,44 @@ mod tests {
             })
             .collect();
         assert_eq!(dc.device_mcd(), mcd_expect, "device MCD diverges");
+    }
+
+    #[test]
+    fn auto_crossover_is_pinned_between_measured_bounds() {
+        // The derived crossover c is the break-even point: maintaining
+        // c-1 updates is strictly cheaper than a re-peel, maintaining c
+        // is not.
+        for &(repeel_ms, per_update_ms) in &[
+            (12.0, 3.0),
+            (12.5, 3.0),
+            (0.4, 3.0),
+            (5000.0, 0.07),
+            (1.0, 1.0),
+        ] {
+            let c = DynamicConfig::auto_crossover(repeel_ms, per_update_ms);
+            assert!(c >= 1);
+            assert!(
+                per_update_ms * c as f64 >= repeel_ms,
+                "re-peel must pay off at the crossover: {per_update_ms} * {c} < {repeel_ms}"
+            );
+            assert!(
+                per_update_ms * ((c - 1) as f64) < repeel_ms,
+                "crossover is not minimal: {per_update_ms} * {} >= {repeel_ms}",
+                c - 1
+            );
+        }
+    }
+
+    #[test]
+    fn auto_crossover_degenerate_inputs() {
+        assert_eq!(DynamicConfig::auto_crossover(10.0, 0.0), usize::MAX);
+        assert_eq!(DynamicConfig::auto_crossover(10.0, -1.0), usize::MAX);
+        assert_eq!(DynamicConfig::auto_crossover(10.0, f64::NAN), usize::MAX);
+        assert_eq!(DynamicConfig::auto_crossover(0.0, 1.0), 1);
+        assert_eq!(DynamicConfig::auto_crossover(-3.0, 1.0), 1);
+        assert_eq!(DynamicConfig::auto_crossover(f64::INFINITY, 1.0), 1);
+        let cfg = DynamicConfig::default().with_auto_crossover(12.0, 3.0);
+        assert_eq!(cfg.crossover, 4);
     }
 
     #[test]

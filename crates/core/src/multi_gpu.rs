@@ -110,8 +110,13 @@ pub fn decompose_multi(
         });
     }
     let p = cfg.num_gpus.min(n);
+    // Orchestration runs on the host across worker contexts, so its spans
+    // land on the process-global profiler rather than any one context's.
+    let prof = kcore_gpusim::hostprof::global();
+    let _run_span = prof.map(|hp| hp.span("multi_gpu/decompose"));
 
     // ---- partition & build local subgraphs -------------------------------
+    let partition_span = prof.map(|hp| hp.span("multi_gpu/partition"));
     let mut workers: Vec<WorkerState> = Vec::with_capacity(p);
     for w in 0..p {
         let lo = (w * n / p) as u32;
@@ -169,6 +174,8 @@ pub fn decompose_multi(
     let mut ghost_touched: Vec<u32> = Vec::new();
     let mut updates: Vec<(u32, u32)> = Vec::new();
 
+    drop(partition_span);
+    let _rounds_span = prof.map(|hp| hp.span("multi_gpu/rounds"));
     while remaining > 0 {
         rounds += 1;
         // Seed each worker with its own degree-k vertices (the scan phase).

@@ -81,6 +81,10 @@ pub fn decompose_in(
         "graph exceeds 32-bit arc indexing"
     );
 
+    // Host-profiling spans (observe-only; None when profiling is off).
+    let _run_span = ctx.host_span("peel");
+    let setup_span = ctx.host_span("peel/setup");
+
     // Algorithm 1, line 1: load G (offset / neighbors / deg) to the device.
     ctx.set_phase("Setup");
     ctx.set_workload_dims(n as u64, g.num_arcs());
@@ -109,6 +113,8 @@ pub fn decompose_in(
         cfg,
     };
 
+    drop(setup_span);
+    let rounds_span = ctx.host_span("peel/rounds");
     let mut count = 0u64;
     let mut k = 0u32;
     let mut rounds = 0u32;
@@ -155,6 +161,8 @@ pub fn decompose_in(
             ))));
         }
     }
+    drop(rounds_span);
+    let _result_span = ctx.host_span("peel/result");
     // Line 10: deg[] has converged to the core numbers.
     ctx.set_phase("Result");
     let core = ctx.dtoh(d_deg);

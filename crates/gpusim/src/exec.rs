@@ -18,6 +18,7 @@ use crate::cost::{
     CostParams, CounterSample, Counters, LaunchRecord, SimReport, TransferDir, TransferRecord,
 };
 use crate::device::{BufferId, Device, OomError, SizeClass};
+use crate::hostprof::{self, HostBucket, HostProfile, HostProfiler, Lap};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
@@ -527,6 +528,12 @@ pub struct GpuContext {
     /// Recycled per-launch `Vec<Counters>` scratch (reused whenever
     /// per-block profiling is off and the vector isn't retained).
     counters_scratch: Vec<Counters>,
+    /// Optional host-side wall-clock profiler ([`crate::hostprof`]).
+    /// Observes only: attaching one changes no simulated quantity.
+    hostprof: Option<HostProfiler>,
+    /// Host allocator call count at the last phase transition, for
+    /// per-phase allocation attribution.
+    host_alloc_mark: u64,
 }
 
 impl GpuContext {
@@ -551,7 +558,35 @@ impl GpuContext {
             workload_arcs: 0,
             shared_pool: Mutex::new(Vec::new()),
             counters_scratch: Vec::new(),
+            hostprof: hostprof::from_env(),
+            host_alloc_mark: hostprof::host_alloc_counts().0,
         }
+    }
+
+    /// Attaches (or detaches) a host-side wall-clock profiler. Profiling
+    /// observes, never charges: no counter, simulated timestamp, or golden
+    /// byte depends on whether one is attached. Contexts built while
+    /// `KCORE_HOSTPROF=1` is set come with a wall-clock profiler already
+    /// attached.
+    pub fn set_host_profiler(&mut self, p: Option<HostProfiler>) {
+        self.hostprof = p;
+        self.host_alloc_mark = hostprof::host_alloc_counts().0;
+    }
+
+    /// The attached host profiler, if any.
+    pub fn host_profiler(&self) -> Option<&HostProfiler> {
+        self.hostprof.as_ref()
+    }
+
+    /// Captures the attached profiler's merged [`HostProfile`] (flushing
+    /// the current phase's allocation delta first). `None` when host
+    /// profiling is off.
+    pub fn host_profile(&mut self, label: &str) -> Option<HostProfile> {
+        let p = self.hostprof.as_ref()?;
+        let (allocs, _) = hostprof::host_alloc_counts();
+        p.note_allocs(self.phase, allocs.saturating_sub(self.host_alloc_mark));
+        self.host_alloc_mark = allocs;
+        Some(p.profile(label))
     }
 
     /// Pops a recycled shared-memory backing vector (or a fresh one).
@@ -577,6 +612,11 @@ impl GpuContext {
     /// callers can restore it. Phases group launches in profiling traces
     /// ([`crate::trace::Trace`]).
     pub fn set_phase(&mut self, phase: &'static str) -> &'static str {
+        if let Some(p) = &self.hostprof {
+            let (allocs, _) = hostprof::host_alloc_counts();
+            p.note_allocs(self.phase, allocs.saturating_sub(self.host_alloc_mark));
+            self.host_alloc_mark = allocs;
+        }
         self.device.note_phase(phase);
         std::mem::replace(&mut self.phase, phase)
     }
@@ -618,7 +658,10 @@ impl GpuContext {
 
     /// Allocates a device buffer without a host transfer.
     pub fn alloc(&mut self, name: &str, len: usize) -> Result<BufferId, SimError> {
-        Ok(self.device.alloc(name, len)?)
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
+        let id = self.device.alloc(name, len)?;
+        lap.lap(HostBucket::ArenaAlloc);
+        Ok(id)
     }
 
     /// [`GpuContext::alloc`] with an explicit [`SizeClass`] tag, so the
@@ -631,7 +674,10 @@ impl GpuContext {
         len: usize,
         class: SizeClass,
     ) -> Result<BufferId, SimError> {
-        Ok(self.device.alloc_with(name, len, 4, class)?)
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
+        let id = self.device.alloc_with(name, len, 4, class)?;
+        lap.lap(HostBucket::ArenaAlloc);
+        Ok(id)
     }
 
     /// Declares the workload dimensions (vertex count, arc count) this
@@ -704,9 +750,11 @@ impl GpuContext {
         class: SizeClass,
     ) -> Result<BufferId, SimError> {
         self.check_limit()?;
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let id = self.device.alloc_with(name, data.len(), 4, class)?;
         self.device.write_slice(id, data);
         self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
+        lap.lap(HostBucket::Transfer);
         Ok(id)
     }
 
@@ -718,6 +766,7 @@ impl GpuContext {
     /// out-of-bounds `cudaMemcpy`) if the copy overruns the buffer.
     pub fn htod_into(&mut self, id: BufferId, offset: usize, data: &[u32]) -> Result<(), SimError> {
         self.check_limit()?;
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let buf = self.device.buffer(id);
         assert!(
             offset + data.len() <= buf.len(),
@@ -731,6 +780,7 @@ impl GpuContext {
             buf[offset + i].store(w, Ordering::Relaxed);
         }
         self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
+        lap.lap(HostBucket::Transfer);
         Ok(())
     }
 
@@ -738,6 +788,7 @@ impl GpuContext {
     /// bytes actually moved — the partial readback the dynamic engine uses
     /// to fetch just a candidate list's prefix.
     pub fn dtoh_range(&mut self, id: BufferId, lo: usize, hi: usize) -> Vec<u32> {
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let buf = self.device.buffer(id);
         assert!(
             lo <= hi && hi <= buf.len(),
@@ -750,6 +801,7 @@ impl GpuContext {
             .map(|w| w.load(Ordering::Relaxed))
             .collect();
         self.record_transfer(TransferDir::DeviceToHost, (hi - lo) as u64 * 4);
+        lap.lap(HostBucket::Transfer);
         out
     }
 
@@ -757,16 +809,20 @@ impl GpuContext {
     /// synchronizing copy — Algorithm 1 pays this every round for
     /// `gpu_count`).
     pub fn dtoh(&mut self, id: BufferId) -> Vec<u32> {
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let out = self.device.read_vec(id);
         self.record_transfer(TransferDir::DeviceToHost, out.len() as u64 * 4);
+        lap.lap(HostBucket::Transfer);
         out
     }
 
     /// Reads a single device word back to the host (the `gpu_count`
     /// pattern), charged as one synchronizing D2H copy.
     pub fn dtoh_word(&mut self, id: BufferId, idx: usize) -> u32 {
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let v = self.device.buffer(id)[idx].load(Ordering::Relaxed);
         self.record_transfer(TransferDir::DeviceToHost, 4);
+        lap.lap(HostBucket::Transfer);
         v
     }
 
@@ -794,10 +850,12 @@ impl GpuContext {
             cfg.threads_per_block.is_multiple_of(32),
             "BLK_DIM must be a multiple of 32"
         );
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
         let mut per_block = std::mem::take(&mut self.counters_scratch);
         per_block.clear();
+        lap.lap(HostBucket::ArenaAlloc);
         if rayon::current_num_threads() <= 1 || cfg.blocks == 1 {
             for b in 0..cfg.blocks {
                 let mut blk =
@@ -813,6 +871,10 @@ impl GpuContext {
                 }
             }
         } else {
+            if let Some(p) = lap.profiler() {
+                let pool = rayon::current_num_threads() as u32;
+                p.sample_util(self.phase, cfg.blocks.min(pool), pool);
+            }
             let pool = &self.shared_pool;
             let results: Vec<Result<Counters, KernelError>> = (0..cfg.blocks)
                 .into_par_iter()
@@ -844,6 +906,7 @@ impl GpuContext {
                 }
             }
         }
+        lap.lap(HostBucket::Dispatch);
         self.finish_launch(name, cfg, per_block)
     }
 
@@ -856,6 +919,7 @@ impl GpuContext {
         cfg: LaunchConfig,
         mut per_block: Vec<Counters>,
     ) -> Result<(), SimError> {
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let block_cycles: Vec<f64> = per_block
             .iter()
             .map(|c| self.cost.block_cycles(c))
@@ -892,6 +956,10 @@ impl GpuContext {
             block_cycles,
             block_counters,
         });
+        lap.lap(HostBucket::Dispatch);
+        if let Some(p) = lap.profiler() {
+            p.note_launch(self.phase);
+        }
         self.sync_device_stamp();
         self.check_limit()
     }
@@ -926,6 +994,7 @@ impl GpuContext {
             cfg.threads_per_block.is_multiple_of(32),
             "BLK_DIM must be a multiple of 32"
         );
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
 
@@ -938,6 +1007,7 @@ impl GpuContext {
             let state = init(&mut blk).map_err(SimError::Kernel)?;
             blocks.push((blk, state, true));
         }
+        lap.lap(HostBucket::Dispatch);
         // xorshift-based deterministic wave shuffle
         let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut order: Vec<usize> = (0..blocks.len()).collect();
@@ -966,6 +1036,8 @@ impl GpuContext {
                 }
             }
         }
+        // the reference engine's wave loop is one serial lane end to end
+        lap.lap(HostBucket::CommitSerial);
 
         let mut per_block = Vec::with_capacity(blocks.len());
         for (blk, _, _) in &mut blocks {
@@ -973,6 +1045,7 @@ impl GpuContext {
             self.recycle_shared(std::mem::take(&mut blk.shared));
         }
         drop(blocks); // release the device borrow before the &mut epilogue
+        lap.lap(HostBucket::ArenaAlloc);
         self.finish_launch(name, cfg, per_block)
     }
 
@@ -1018,6 +1091,7 @@ impl GpuContext {
             cfg.threads_per_block.is_multiple_of(32),
             "BLK_DIM must be a multiple of 32"
         );
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
         let parallel = rayon::current_num_threads() > 1;
@@ -1031,6 +1105,7 @@ impl GpuContext {
             let state = init(&mut blk).map_err(SimError::Kernel)?;
             slots.push(Some((blk, state)));
         }
+        lap.lap(HostBucket::Dispatch);
         // identical xorshift wave shuffle to `launch_stepped`
         let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut order: Vec<usize> = (0..slots.len()).collect();
@@ -1054,6 +1129,12 @@ impl GpuContext {
                         (i, blk, st)
                     })
                     .collect();
+                // shuffle + wave extraction is scheduler orchestration
+                lap.lap(HostBucket::SchedulerWait);
+                if let Some(p) = lap.profiler() {
+                    let pool = rayon::current_num_threads() as u32;
+                    p.sample_util(self.phase, (live as u32).min(pool), pool);
+                }
                 let planned: Vec<(usize, BlockCtx<'_>, S, Result<P, KernelError>)> = wave
                     .into_par_iter()
                     .map(|(i, mut blk, mut st)| {
@@ -1062,6 +1143,7 @@ impl GpuContext {
                         (i, blk, st, p)
                     })
                     .collect();
+                lap.lap(HostBucket::PlanParallel);
                 // Phase 2: commit serially in the same wave order.
                 for (i, mut blk, mut st, p) in planned {
                     blk.exclusive = true;
@@ -1078,6 +1160,7 @@ impl GpuContext {
                         Err(e) => return Err(SimError::Kernel(e)),
                     }
                 }
+                lap.lap(HostBucket::CommitSerial);
             } else {
                 // Serial specialization: fuse plan+commit per block, exactly
                 // the `launch_stepped` wave loop.
@@ -1098,6 +1181,8 @@ impl GpuContext {
                         Err(e) => return Err(SimError::Kernel(e)),
                     }
                 }
+                // the fused wave (shuffle + plan + commit) is one serial lane
+                lap.lap(HostBucket::CommitSerial);
             }
         }
         let per_block: Vec<Counters> = done

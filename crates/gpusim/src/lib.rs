@@ -57,6 +57,7 @@
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod hostprof;
 pub mod memstats;
 pub mod perfetto;
 pub mod scan;
@@ -71,6 +72,10 @@ pub use cost::{
 pub use device::{BufferId, Device, LedgerEntry, OomError, SizeClass};
 pub use exec::{
     BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
+};
+pub use hostprof::{
+    FakeClock, HostBucket, HostClock, HostEvent, HostPhase, HostProfile, HostProfiler, HostSpan,
+    HostThread, SpanGuard, WallClock, HOSTPROF_ENV, HOSTPROF_SCHEMA_VERSION,
 };
 pub use memstats::{
     CapacityForecast, LiveAlloc, MemStats, PhasePeak, PhaseTransfers, MEMSTATS_SCHEMA_VERSION,

@@ -3,6 +3,11 @@
 # times against the latest recorded BENCH_<n>.json snapshot. Fails when any
 # implementation regressed by more than 5% (see crates/bench/src/regress.rs).
 #
+# Snapshots also carry host wall-clock fields (host_ms/host_attributed_ms);
+# the differ prints their deltas as "[host ... informational]" lines but
+# NEVER gates on them — wall time is machine-dependent, simulated time is
+# not. Snapshots recorded before these fields existed diff cleanly.
+#
 # Skips cleanly when no snapshot has been recorded yet — record a baseline
 # first with:
 #

@@ -90,4 +90,21 @@ fi
 rm -rf "$dyn_results"
 echo "dynamic smoke OK"
 
+echo "== hostprof smoke (wall-clock attribution coverage) =="
+# --check sweeps the ablation variants with a wall-clock profiler per run
+# and asserts every profile parses under the current hostprof schema, that
+# bucket time never exceeds its containing run span, and that the named
+# buckets attribute >= 95% of each run's wall time — below that the
+# engine's host instrumentation is considered broken. Informational only
+# for perf (wall time is machine-dependent); structural checks are hard.
+host_results="$(mktemp -d)"
+KCORE_SMOKE=1 KCORE_DATASETS=amazon0601 KCORE_CACHE_DIR="$cache_dir" \
+  KCORE_RESULTS_DIR="$host_results" ./target/release/hostprof --check > /dev/null
+if [[ ! -s "$host_results/table_host.json" ]]; then
+  echo "ERROR: hostprof did not write table_host.json" >&2
+  exit 1
+fi
+rm -rf "$host_results"
+echo "hostprof smoke OK"
+
 echo "== ci.sh: all green =="

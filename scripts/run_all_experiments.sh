@@ -29,6 +29,11 @@ done
 echo "== memreport =="
 ./target/release/memreport | tee "results/table_mem.txt"
 
+# Host-side wall-clock attribution of the ablation sweep (informational:
+# values are machine-dependent, unlike every simulated table above).
+echo "== hostprof =="
+./target/release/hostprof    # writes results/table_host.{json,txt} itself
+
 echo "== criterion micro-benchmarks =="
 cargo bench -p kcore-bench
 
