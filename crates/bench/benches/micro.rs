@@ -197,8 +197,11 @@ fn bench_launch_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-/// End-to-end `launch_stepped` wave loop: the warp-vectorized fast path
-/// (two-phase scheduler) against the retained per-lane reference.
+/// End-to-end host time of the three execution paths on one graph: the
+/// fused single-entry round engine (`launch_fused`, the default), the
+/// two-launch warp-vectorized fast path (two-phase scheduler), and the
+/// retained per-lane reference — all bit-identical in output, differing
+/// only in host-side execution strategy.
 fn bench_exec_paths(c: &mut Criterion) {
     let g = gen::rmat(12, 20_000, gen::RmatParams::graph500(), 7);
     let base = PeelConfig {
@@ -212,7 +215,11 @@ fn bench_exec_paths(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("exec_path_rmat12");
     group.sample_size(10);
-    for (name, path) in [("fast", ExecPath::Fast), ("reference", ExecPath::Reference)] {
+    for (name, path) in [
+        ("fused", ExecPath::Fused),
+        ("fast", ExecPath::Fast),
+        ("reference", ExecPath::Reference),
+    ] {
         let cfg = base.with_exec_path(path);
         group.bench_function(name, |b| {
             b.iter(|| black_box(decompose(&g, &cfg, &SimOptions::default()).unwrap()))

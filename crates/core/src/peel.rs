@@ -15,13 +15,15 @@
 
 use crate::config::{Buffering, Compaction, ExecPath, PeelConfig};
 use kcore_gpusim::scan::{
-    ballot_scan, ballot_scan_offsets, block_two_stage_scan, block_two_stage_scan_into,
+    ballot_scan, ballot_scan_offsets, block_two_stage_scan, block_two_stage_scan_charges,
+    block_two_stage_scan_into,
 };
 use kcore_gpusim::{
     BlockCtx, BufferId, GpuContext, KernelError, SharedArray, SimError, SimOptions, SimReport,
     SizeClass,
 };
 use kcore_graph::Csr;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of a GPU decomposition run.
@@ -119,32 +121,47 @@ pub fn decompose_in(
     let mut k = 0u32;
     let mut rounds = 0u32;
     while (count as usize) < n {
-        ctx.set_phase("Scan");
-        match cfg.exec_path {
-            ExecPath::Fast => ctx.launch("scan", cfg.launch, |blk| scan_kernel_fast(blk, k, &p))?,
-            ExecPath::Reference => ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?,
-        }
         // The loop kernel's blocks interact through `deg[]` while running
         // (cascading k-shell discovery), so it uses the lockstep stepped
         // launch: every wave advances each live block by one
         // barrier-delimited iteration, matching concurrent hardware blocks.
         // The fast path splits each iteration into a parallel plan and a
-        // wave-ordered commit — bit-identical traces either way.
-        ctx.set_phase("Loop");
+        // wave-ordered commit; the fused path additionally runs the scan
+        // step and the stepped loop inside one engine entry — bit-identical
+        // traces all three ways.
+        ctx.set_phase("Scan");
         match cfg.exec_path {
-            ExecPath::Fast => ctx.launch_stepped_phased(
-                "loop",
+            ExecPath::Fused => ctx.launch_fused(
+                "scan",
                 cfg.launch,
+                |blk| scan_kernel_fast(blk, k, &p),
+                "Loop",
+                "loop",
                 |blk| loop_init(blk, &p),
                 |blk, st| loop_plan(blk, st, &p),
                 |blk, st, plan| loop_commit(blk, st, plan, k, &p),
             )?,
-            ExecPath::Reference => ctx.launch_stepped(
-                "loop",
-                cfg.launch,
-                |blk| loop_init(blk, &p),
-                |blk, st| loop_step(blk, st, k, &p),
-            )?,
+            ExecPath::Fast => {
+                ctx.launch("scan", cfg.launch, |blk| scan_kernel_fast(blk, k, &p))?;
+                ctx.set_phase("Loop");
+                ctx.launch_stepped_phased(
+                    "loop",
+                    cfg.launch,
+                    |blk| loop_init(blk, &p),
+                    |blk, st| loop_plan(blk, st, &p),
+                    |blk, st, plan| loop_commit(blk, st, plan, k, &p),
+                )?;
+            }
+            ExecPath::Reference => {
+                ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?;
+                ctx.set_phase("Loop");
+                ctx.launch_stepped(
+                    "loop",
+                    cfg.launch,
+                    |blk| loop_init(blk, &p),
+                    |blk, st| loop_step(blk, st, k, &p),
+                )?;
+            }
         }
         // Algorithm 1 line 8: the synchronizing gpu_count readback.
         ctx.set_phase("Sync");
@@ -192,7 +209,13 @@ enum Slot {
 fn translate(pos: u64, e_init: u64, n_b: u64, cap: u64, ring: bool) -> Result<Slot, KernelError> {
     let global_at = |gpos: u64| -> Result<Slot, KernelError> {
         if ring {
-            Ok(Slot::Global((gpos % cap) as usize))
+            // Positions only exceed `cap` once the ring has wrapped, so the
+            // common case skips the division.
+            Ok(Slot::Global(if gpos < cap {
+                gpos as usize
+            } else {
+                (gpos % cap) as usize
+            }))
         } else if gpos < cap {
             Ok(Slot::Global(gpos as usize))
         } else {
@@ -436,13 +459,18 @@ fn scan_kernel(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), Ke
 /// Warp-vectorized [`scan_kernel`]: identical semantics, counters, and error
 /// behavior, with the per-lane plumbing hoisted out of the hot loops — the
 /// shared tail lives in a local mirror, ballot predicates stay packed as a
-/// mask ([`ballot_scan_offsets`]), and the EC scratch buffers are allocated
-/// once per kernel instead of once per chunk
+/// mask ([`ballot_scan_offsets`]), and the EC scratch buffers are reused
+/// across kernel calls via a worker-local cache
 /// ([`block_two_stage_scan_into`]). `tests/fastpath_diff.rs` pins the
 /// equivalence against the reference.
 fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(), KernelError> {
     let dev = blk.device;
     let deg = dev.buffer(p.d_deg);
+    // Plain-word view of `deg` for the probe sweeps: the scan kernel only
+    // reads degrees (every block, on every path), so the buffer is
+    // immutable for the whole launch and the view is sound — and unlike an
+    // `AtomicU32` load the compiler may vectorize it.
+    let degs: &[u32] = unsafe { std::slice::from_raw_parts(deg.as_ptr() as *const u32, deg.len()) };
     let b = blk.block_idx as usize;
     let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
 
@@ -455,9 +483,19 @@ fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(
     // Local mirror of the shared tail, poked back before the epilogue read;
     // every shared-atomic charge still lands per append.
     let mut e_local = 0u64;
-    // EC scratch, reused across chunks.
+    // EC scratch, reused across chunks — and across kernel calls via a
+    // worker-local cache. Contents need no zeroing on reuse: the hit path
+    // rewrites `values[..hi-lo]` and explicitly zero-fills the tail before
+    // the scan, the miss path never reads it, and `offs` is fully written
+    // before it is read. Only the length matters (the charge helper asserts
+    // it equals the block dimension).
     let (mut values, mut offs) = if p.cfg.compaction == Compaction::Efficient {
-        (vec![0u32; blk_dim], vec![0u32; blk_dim])
+        EC_SCRATCH.with(|s| {
+            let (mut v, mut o) = s.take();
+            v.resize(blk_dim, 0);
+            o.resize(blk_dim, 0);
+            (v, o)
+        })
     } else {
         (Vec::new(), Vec::new())
     };
@@ -474,27 +512,52 @@ fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(
 
         match p.cfg.compaction {
             Compaction::None => {
-                for v in lo..hi {
-                    if deg[v].load(Ordering::Relaxed) == k {
-                        blk.counters.shared_atomics += 1; // atomicAdd(e, 1)
-                        let pos = e_local;
-                        e_local += 1;
-                        if pos >= p.cap as u64 {
-                            return Err(overflow(b));
-                        }
-                        bufb[pos as usize].store(v as u32, Ordering::Relaxed);
-                        blk.charge_sector(1);
+                // Probe in sub-chunks with a branch-free any-hit reduction
+                // (vectorizable); only a sub-chunk containing a k-shell
+                // vertex pays the scalar append pass. Charges are per hit
+                // either way, so the sweep shape is charge-invisible.
+                let mut v = lo;
+                while v < hi {
+                    let sub_hi = (v + 64).min(hi);
+                    let mut hit = false;
+                    for &d in &degs[v..sub_hi] {
+                        hit |= d == k;
                     }
+                    if hit {
+                        for u in v..sub_hi {
+                            if degs[u] == k {
+                                blk.counters.shared_atomics += 1; // atomicAdd(e, 1)
+                                let pos = e_local;
+                                e_local += 1;
+                                if pos >= p.cap as u64 {
+                                    return Err(overflow(b));
+                                }
+                                bufb[pos as usize].store(u as u32, Ordering::Relaxed);
+                                blk.charge_sector(1);
+                            }
+                        }
+                    }
+                    v = sub_hi;
                 }
             }
             Compaction::Ballot => {
                 for wstart in (lo..hi).step_by(32) {
                     let wend = (wstart + 32).min(hi);
                     blk.counters.shared_accesses += 3 * (wend - wstart) as u64;
+                    // Branch-free any-hit reduction first (vectorizable);
+                    // only a warp containing a k-shell vertex pays the
+                    // scalar bit pack. The ballot is charged identically
+                    // either way (`ballot_scan_offsets` charges by lane
+                    // count, not by mask value).
+                    let w = &degs[wstart..wend];
+                    let mut hit = false;
+                    for &d in w {
+                        hit |= d == k;
+                    }
                     let mut bits = 0u32;
-                    for (i, v) in (wstart..wend).enumerate() {
-                        if deg[v].load(Ordering::Relaxed) == k {
-                            bits |= 1 << i;
+                    if hit {
+                        for (i, &d) in w.iter().enumerate() {
+                            bits |= ((d == k) as u32) << i;
                         }
                     }
                     let (offsets, total) = ballot_scan_offsets(blk, bits);
@@ -517,12 +580,27 @@ fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(
                 }
             }
             Compaction::Efficient => {
-                for (i, v) in (lo..hi).enumerate() {
-                    values[i] = (deg[v].load(Ordering::Relaxed) == k) as u32;
+                // Any-hit reduction first (vectorizable): a chunk with no
+                // k-shell vertex pays the full two-stage-scan cost model —
+                // every charge is a pure function of the geometry — but
+                // skips the element-wise flag fill and the host-side scan
+                // arithmetic.
+                let w = &degs[lo..hi];
+                let mut hit = false;
+                for &d in w {
+                    hit |= d == k;
                 }
-                values[(hi - lo)..].fill(0);
                 blk.counters.shared_accesses += 3 * (hi - lo) as u64;
-                let total = block_two_stage_scan_into(blk, &values, &mut offs);
+                let total = if hit {
+                    for (i, &d) in w.iter().enumerate() {
+                        values[i] = (d == k) as u32;
+                    }
+                    values[(hi - lo)..].fill(0);
+                    block_two_stage_scan_into(blk, &values, &mut offs)
+                } else {
+                    block_two_stage_scan_charges(blk, values.len());
+                    0
+                };
                 if total > 0 {
                     blk.counters.shared_atomics += 1; // atomicAdd(e, total)
                     let base = e_local;
@@ -547,7 +625,18 @@ fn scan_kernel_fast(blk: &mut BlockCtx<'_>, k: u32, p: &KParams<'_>) -> Result<(
     blk.sync_threads();
     let e = blk.sh_read(e_arr, 0);
     blk.gwrite(&dev.buffer(p.d_buf_e)[b], e);
+    if p.cfg.compaction == Compaction::Efficient {
+        EC_SCRATCH.with(|s| *s.borrow_mut() = (values, offs));
+    }
     Ok(())
+}
+
+thread_local! {
+    /// Worker-local EC scratch for [`scan_kernel_fast`] (a `(values, offs)`
+    /// pair), so the two block-dimension-sized vectors are not
+    /// allocated and freed on every kernel call. Error returns drop the
+    /// cache for that worker; the next call simply reallocates.
+    static EC_SCRATCH: RefCell<(Vec<u32>, Vec<u32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 // ---------------------------------------------------------------------------
@@ -799,6 +888,11 @@ fn loop_plan(
 ) -> Result<LoopPlan, KernelError> {
     let dev = blk.device;
     let offsets = dev.buffer(p.d_offsets);
+    // Plain-word view for the adjacency-range reads: `offset` is
+    // launch-immutable (the plan-side contract above), so the view is sound
+    // and the loads are plain `mov`s the compiler can reorder.
+    let offs: &[u32] =
+        unsafe { std::slice::from_raw_parts(offsets.as_ptr() as *const u32, offsets.len()) };
     let b = blk.block_idx as usize;
     let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
     let se = st.bc.se;
@@ -833,8 +927,8 @@ fn loop_plan(
         // Line 13: pos_s, pos_e — adjacent words of the immutable offset
         // array, one sector.
         blk.charge_sector(1);
-        let ps = offsets[v as usize].load(Ordering::Relaxed);
-        let pe = offsets[v as usize + 1].load(Ordering::Relaxed);
+        let ps = offs[v as usize];
+        let pe = offs[v as usize + 1];
         st.planned.push((v, ps, pe));
     }
     Ok(LoopPlan::Batch { s, batch })
@@ -853,6 +947,11 @@ fn loop_commit(
     let dev = blk.device;
     let deg = dev.buffer(p.d_deg);
     let neighbors = dev.buffer(p.d_neighbors);
+    // Plain-word view for the warp-contiguous neighbor reads: the loop
+    // kernel never writes `neighbors`, so the buffer is launch-immutable
+    // and the view is sound (same pattern as the scan kernel's `degs`).
+    let nbrs: &[u32] =
+        unsafe { std::slice::from_raw_parts(neighbors.as_ptr() as *const u32, neighbors.len()) };
     let b = blk.block_idx as usize;
     let bufb = &dev.buffer(p.d_buf)[b * p.cap..(b + 1) * p.cap];
     let se = st.bc.se;
@@ -881,7 +980,7 @@ fn loop_commit(
             &mut ap,
             bufb,
             deg,
-            neighbors,
+            nbrs,
             ps as usize,
             pe as usize,
             k,
@@ -966,11 +1065,15 @@ fn process_vertex_fast(
     ap: &mut Appender,
     bufb: &[AtomicU32],
     deg: &[AtomicU32],
-    neighbors: &[AtomicU32],
+    nbrs: &[u32],
     ps: usize,
     pe: usize,
     k: u32,
 ) -> Result<(), KernelError> {
+    // Hoisted out of the chunk loop; slots are stale across chunks but a
+    // lane is only read when its `bits` flag was set this chunk, and the
+    // write always precedes the flag.
+    let mut vals = [0u32; 32];
     let mut chunk = ps;
     while chunk < pe {
         let cend = (chunk + 32).min(pe);
@@ -980,13 +1083,15 @@ fn process_vertex_fast(
         blk.charge_instr(2); // lines 16-18 bounds/index math (full warp)
 
         // Line 20's random-access deg probes, charged once per chunk; the
-        // line-21 decrements counted and added in one update.
+        // line-21 decrements counted and added in one update. The probes
+        // are independent loads off a contiguous id slice, so the core's
+        // out-of-order window already overlaps their misses.
         blk.charge_sector(cnt);
+        let ids = &nbrs[chunk..cend];
         let mut bits = 0u32;
-        let mut vals = [0u32; 32];
         let mut decs = 0u64;
-        for (lane, idx) in (chunk..cend).enumerate() {
-            let u = neighbors[idx].load(Ordering::Relaxed) as usize;
+        for (lane, &u) in ids.iter().enumerate() {
+            let u = u as usize;
             let old = deg[u].load(Ordering::Relaxed);
             if old > k {
                 deg[u].store(old - 1, Ordering::Relaxed);

@@ -56,6 +56,37 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// The counter fields as a fixed-width word array, in the canonical
+    /// field order (the same order [`Counters::merge`] sums them in).
+    #[inline]
+    pub fn to_words(&self) -> [u64; 8] {
+        [
+            self.global_tx,
+            self.global_sectors,
+            self.dependent_reads,
+            self.global_atomics,
+            self.shared_atomics,
+            self.shared_accesses,
+            self.warp_instrs,
+            self.barriers,
+        ]
+    }
+
+    /// Inverse of [`Counters::to_words`].
+    #[inline]
+    pub fn from_words(w: [u64; 8]) -> Self {
+        Counters {
+            global_tx: w[0],
+            global_sectors: w[1],
+            dependent_reads: w[2],
+            global_atomics: w[3],
+            shared_atomics: w[4],
+            shared_accesses: w[5],
+            warp_instrs: w[6],
+            barriers: w[7],
+        }
+    }
+
     /// Element-wise sum.
     pub fn merge(&mut self, other: &Counters) {
         self.global_tx += other.global_tx;
@@ -66,6 +97,60 @@ impl Counters {
         self.shared_accesses += other.shared_accesses;
         self.warp_instrs += other.warp_instrs;
         self.barriers += other.barriers;
+    }
+
+    /// Flat-combining sum of a counter slice: four fixed-width accumulator
+    /// lanes of 8 words each, combined at the end — a shape the
+    /// auto-vectorizer turns into packed 64-bit adds. Because u64 addition
+    /// is associative and commutative, the total is bit-identical to a
+    /// serial [`Counters::merge`] loop (pinned by a unit test), so launch
+    /// epilogues and trace rollups can use it freely without perturbing a
+    /// single golden byte.
+    pub fn flat_sum(items: &[Counters]) -> Counters {
+        const LANES: usize = 4;
+        let mut acc = [[0u64; 8]; LANES];
+        let mut chunks = items.chunks_exact(LANES);
+        for chunk in &mut chunks {
+            for (lane, c) in acc.iter_mut().zip(chunk) {
+                let w = c.to_words();
+                for (a, x) in lane.iter_mut().zip(w) {
+                    *a += x;
+                }
+            }
+        }
+        let mut total = [0u64; 8];
+        for lane in &acc {
+            for (t, a) in total.iter_mut().zip(lane) {
+                *t += a;
+            }
+        }
+        for c in chunks.remainder() {
+            for (t, x) in total.iter_mut().zip(c.to_words()) {
+                *t += x;
+            }
+        }
+        Counters::from_words(total)
+    }
+
+    /// [`Counters::flat_sum`] over an iterator (e.g. a projection of launch
+    /// records): round-robins items across the same four word-array lanes.
+    /// Identical totals to a serial merge loop, for the same reason.
+    pub fn flat_sum_iter<'a>(items: impl Iterator<Item = &'a Counters>) -> Counters {
+        const LANES: usize = 4;
+        let mut acc = [[0u64; 8]; LANES];
+        for (i, c) in items.enumerate() {
+            let lane = &mut acc[i % LANES];
+            for (a, x) in lane.iter_mut().zip(c.to_words()) {
+                *a += x;
+            }
+        }
+        let mut total = [0u64; 8];
+        for lane in &acc {
+            for (t, a) in total.iter_mut().zip(lane) {
+                *t += a;
+            }
+        }
+        Counters::from_words(total)
     }
 }
 
@@ -311,14 +396,33 @@ impl Ord for SlotKey {
 }
 
 /// Greedy list-scheduling makespan of `jobs` on `machines` (dispatch order,
-/// least-loaded machine first) — how block grids fill SMs. Heap-based with
-/// the same (load, lowest-index) selection as the original linear scan:
-/// identical assignment, identical float results.
+/// least-loaded machine first, lowest index on load ties) — how block grids
+/// fill SMs. Small machine counts (every real GPU) use an allocation-free
+/// linear min-scan; larger ones a heap. Both make the same (load,
+/// lowest-index) selection per job: identical assignment, identical float
+/// results.
 pub fn makespan(jobs: &[f64], machines: usize) -> f64 {
     assert!(machines > 0);
     if machines == 1 {
         // same accumulation order as the general path's single machine
         return jobs.iter().fold(0.0, |acc, &j| acc + j);
+    }
+    if machines <= 128 {
+        // Hot shape: one call per launch with jobs = per-block cycles. The
+        // strict `<` keeps the lowest-index machine on equal loads — the
+        // same selection the heap's `SlotKey` ordering makes.
+        let mut loads = [0.0f64; 128];
+        let loads = &mut loads[..machines];
+        for &j in jobs {
+            let mut best = 0usize;
+            for (m, &l) in loads.iter().enumerate().skip(1) {
+                if l < loads[best] {
+                    best = m;
+                }
+            }
+            loads[best] += j;
+        }
+        return loads.iter().fold(0.0, |acc, &l| f64::max(acc, l));
     }
     let mut heap: BinaryHeap<Reverse<SlotKey>> =
         (0..machines).map(|i| Reverse(SlotKey(0.0, i))).collect();
@@ -442,6 +546,25 @@ mod tests {
     }
 
     #[test]
+    fn makespan_scan_matches_heap() {
+        // The small-machine linear scan must make bit-identical float sums
+        // to the heap path (same per-job machine selection).
+        let jobs: Vec<f64> = (0..108).map(|i| ((i * 37 % 19) as f64) + 0.25).collect();
+        let m = 56;
+        let mut heap: BinaryHeap<Reverse<SlotKey>> =
+            (0..m).map(|i| Reverse(SlotKey(0.0, i))).collect();
+        for &j in &jobs {
+            let Reverse(SlotKey(load, idx)) = heap.pop().unwrap();
+            heap.push(Reverse(SlotKey(load + j, idx)));
+        }
+        let expect = heap
+            .into_iter()
+            .map(|Reverse(SlotKey(l, _))| l)
+            .fold(0.0, f64::max);
+        assert_eq!(makespan(&jobs, m), expect);
+    }
+
+    #[test]
     fn roofline_picks_binding_constraint() {
         let p = CostParams::p100();
         // pure compute: 1 block, lots of instructions, no traffic
@@ -491,6 +614,42 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.global_tx, 3);
         assert_eq!(a.warp_instrs, 5);
+    }
+
+    #[test]
+    fn flat_sum_matches_serial_merge() {
+        // every length around the 4-lane chunk boundary, with all fields live
+        for len in 0..=11usize {
+            let items: Vec<Counters> = (0..len)
+                .map(|i| {
+                    let mut w = [0u64; 8];
+                    for (j, slot) in w.iter_mut().enumerate() {
+                        *slot = (i as u64 + 1) * 1_000_003 + j as u64 * 7919;
+                    }
+                    Counters::from_words(w)
+                })
+                .collect();
+            let mut serial = Counters::default();
+            for c in &items {
+                serial.merge(c);
+            }
+            assert_eq!(Counters::flat_sum(&items), serial, "len={len}");
+        }
+    }
+
+    #[test]
+    fn counters_words_round_trip() {
+        let c = Counters {
+            global_tx: 1,
+            global_sectors: 2,
+            dependent_reads: 3,
+            global_atomics: 4,
+            shared_atomics: 5,
+            shared_accesses: 6,
+            warp_instrs: 7,
+            barriers: 8,
+        };
+        assert_eq!(Counters::from_words(c.to_words()), c);
     }
 
     #[test]

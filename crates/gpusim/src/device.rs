@@ -139,6 +139,9 @@ pub struct Device {
     /// Stamp kept current by the owning context: active phase, logical
     /// launch/transfer sequence number, sim-clock ms.
     phase: &'static str,
+    /// In-launch phase-label override (see [`Device::set_launch_phase`]);
+    /// `None` between launches.
+    launch_phase: Option<&'static str>,
     seq: u64,
     time_ms: f64,
     /// Fine-grained ledger operation counter (allocs + frees).
@@ -156,6 +159,7 @@ impl Device {
             ledger: Vec::new(),
             phase_peaks: Vec::new(),
             phase: "main",
+            launch_phase: None,
             seq: 0,
             time_ms: 0.0,
             op: 0,
@@ -194,9 +198,18 @@ impl Device {
         self.bump_phase_peak();
         let words = (bytes as usize).div_ceil(4);
         let ledger_idx = self.ledger.len();
+        // calloc-backed zero fill: `vec![0u32; n]` lowers to alloc_zeroed
+        // (lazily zeroed pages from the OS), where a per-element
+        // `AtomicU32::new(0)` collect would write every word up front.
+        // AtomicU32 is layout-identical to u32 (same size and alignment,
+        // every bit pattern valid), so rewrapping the backing is sound.
+        let data = {
+            let mut v = std::mem::ManuallyDrop::new(vec![0u32; words]);
+            unsafe { Vec::from_raw_parts(v.as_mut_ptr() as *mut AtomicU32, v.len(), v.capacity()) }
+        };
         let alloc = Allocation {
             name: name.to_owned(),
-            data: (0..words).map(|_| AtomicU32::new(0)).collect(),
+            data,
             ledger_idx,
         };
         // Reuse a free slot if any, else push.
@@ -216,7 +229,7 @@ impl Device {
             elem_bytes: elem_bytes as u64,
             bytes,
             size_class: class,
-            phase: self.phase,
+            phase: self.effective_phase(),
             slot: id as u64,
             alloc_seq: self.seq,
             alloc_ms: self.time_ms,
@@ -269,16 +282,33 @@ impl Device {
 
     /// Records a phase change for the per-phase watermarks and subsequent
     /// ledger entries. Entering a phase floors its watermark at the current
-    /// live bytes.
+    /// live bytes, and clears any in-launch label override (a launch cannot
+    /// span a phase note, so a still-set override is an error-path leak).
     pub fn note_phase(&mut self, phase: &'static str) {
         self.phase = phase;
+        self.launch_phase = None;
         self.bump_phase_peak();
     }
 
+    /// Sets (or clears) the in-launch phase-label override. While a fused
+    /// launch is in flight the engine labels the device with the active
+    /// *step's* phase, so arena slots acquired inside the launch stamp
+    /// their ledger entries — and attribute their phase watermarks — to the
+    /// launch's phase instead of whatever sticky label the context last
+    /// noted.
+    pub fn set_launch_phase(&mut self, phase: Option<&'static str>) {
+        self.launch_phase = phase;
+    }
+
+    fn effective_phase(&self) -> &'static str {
+        self.launch_phase.unwrap_or(self.phase)
+    }
+
     fn bump_phase_peak(&mut self) {
-        match self.phase_peaks.iter_mut().find(|(p, _)| *p == self.phase) {
+        let phase = self.effective_phase();
+        match self.phase_peaks.iter_mut().find(|(p, _)| *p == phase) {
             Some((_, peak)) => *peak = (*peak).max(self.used),
-            None => self.phase_peaks.push((self.phase, self.used)),
+            None => self.phase_peaks.push((phase, self.used)),
         }
     }
 
@@ -317,17 +347,22 @@ impl Device {
             data.len() <= buf.len(),
             "host slice larger than device buffer"
         );
-        for (w, &v) in buf.iter().zip(data) {
-            w.store(v, Ordering::Relaxed);
+        // Transfers never overlap kernel execution (launches run to
+        // completion under `&mut GpuContext`), so no simulated block races
+        // these words: one bulk copy through the atomics' `UnsafeCell` is
+        // equivalent to the per-word relaxed stores — and vectorizes, which
+        // a loop of atomic stores never does.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), buf.as_ptr() as *mut u32, data.len());
         }
     }
 
     /// Copies a buffer back to host.
     pub fn read_vec(&self, id: BufferId) -> Vec<u32> {
-        self.buffer(id)
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed))
-            .collect()
+        let buf = self.buffer(id);
+        // See `write_slice`: the device is quiescent during transfers, so a
+        // bulk read is equivalent to per-word relaxed loads.
+        unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u32, buf.len()) }.to_vec()
     }
 
     /// Bytes currently allocated.
@@ -454,6 +489,33 @@ mod tests {
             (led[0].alloc_op, led[1].alloc_op, led[0].free_op),
             (0, 1, Some(2))
         );
+    }
+
+    #[test]
+    fn launch_phase_override_attributes_in_launch_allocs() {
+        let mut d = Device::new(1 << 20);
+        d.note_phase("Sync");
+        // A fused launch is in flight under the "Loop" step: arena slots it
+        // acquires must stamp and attribute to the launch's phase, not the
+        // sticky context label.
+        d.set_launch_phase(Some("Loop"));
+        let a = d.alloc("wavebuf", 64).unwrap(); // 256 B
+        assert_eq!(d.ledger()[0].phase, "Loop");
+        assert!(
+            d.phase_peaks().contains(&("Loop", 256)),
+            "override must route the watermark to the launch's phase: {:?}",
+            d.phase_peaks()
+        );
+        // The sticky label is untouched and takes over once cleared.
+        d.set_launch_phase(None);
+        let _b = d.alloc("host", 1).unwrap();
+        assert_eq!(d.ledger()[1].phase, "Sync");
+        // A phase note clears any stale override (error-path hygiene).
+        d.set_launch_phase(Some("Loop"));
+        d.note_phase("Result");
+        let _c = d.alloc("late", 1).unwrap();
+        assert_eq!(d.ledger()[2].phase, "Result");
+        d.free(a);
     }
 
     #[test]

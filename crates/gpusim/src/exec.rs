@@ -499,6 +499,33 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
+/// Scratch buffers reused across stepped and fused launches — the wave
+/// order, per-block liveness, retired-counter slots, and carried
+/// shared-memory backings — so steady-state peel rounds allocate nothing
+/// per dispatch (the hostprof `arena`/`dispatch` buckets' remaining
+/// per-launch allocations).
+#[derive(Default)]
+struct StepScratch {
+    order: Vec<usize>,
+    alive: Vec<bool>,
+    done: Vec<Option<Counters>>,
+    /// Per-block shared-memory backings carried across the fused launch's
+    /// step boundary (scan → loop) and across rounds, indexed by block.
+    carry: Vec<Vec<u32>>,
+}
+
+impl StepScratch {
+    /// Resets the wave-scheduling vectors for a `blocks`-block launch.
+    fn reset(&mut self, blocks: usize) {
+        self.order.clear();
+        self.order.extend(0..blocks);
+        self.alive.clear();
+        self.alive.resize(blocks, true);
+        self.done.clear();
+        self.done.resize(blocks, None);
+    }
+}
+
 /// The simulated GPU program context: device + cost model + simulated clock.
 pub struct GpuContext {
     /// Device memory.
@@ -528,6 +555,9 @@ pub struct GpuContext {
     /// Recycled per-launch `Vec<Counters>` scratch (reused whenever
     /// per-block profiling is off and the vector isn't retained).
     counters_scratch: Vec<Counters>,
+    /// Recycled stepped/fused launch scratch (wave order, liveness,
+    /// retired counters, carried shared backings).
+    step_scratch: StepScratch,
     /// Optional host-side wall-clock profiler ([`crate::hostprof`]).
     /// Observes only: attaching one changes no simulated quantity.
     hostprof: Option<HostProfiler>,
@@ -558,6 +588,7 @@ impl GpuContext {
             workload_arcs: 0,
             shared_pool: Mutex::new(Vec::new()),
             counters_scratch: Vec::new(),
+            step_scratch: StepScratch::default(),
             hostprof: hostprof::from_env(),
             host_alloc_mark: hostprof::host_alloc_counts().0,
         }
@@ -776,8 +807,14 @@ impl GpuContext {
             data.len(),
             buf.len()
         );
-        for (i, &w) in data.iter().enumerate() {
-            buf[offset + i].store(w, Ordering::Relaxed);
+        // See `Device::write_slice`: quiescent during transfers, so a bulk
+        // copy is equivalent to the per-word relaxed stores.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                buf.as_ptr().add(offset) as *mut u32,
+                data.len(),
+            );
         }
         self.record_transfer(TransferDir::HostToDevice, data.len() as u64 * 4);
         lap.lap(HostBucket::Transfer);
@@ -796,10 +833,11 @@ impl GpuContext {
             self.device.buffer_name(id),
             buf.len()
         );
-        let out: Vec<u32> = buf[lo..hi]
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed))
-            .collect();
+        // See `Device::write_slice`: quiescent during transfers, so a bulk
+        // read is equivalent to the per-word relaxed loads.
+        let out: Vec<u32> =
+            unsafe { std::slice::from_raw_parts(buf.as_ptr().add(lo) as *const u32, hi - lo) }
+                .to_vec();
         self.record_transfer(TransferDir::DeviceToHost, (hi - lo) as u64 * 4);
         lap.lap(HostBucket::Transfer);
         out
@@ -924,10 +962,8 @@ impl GpuContext {
             .iter()
             .map(|c| self.cost.block_cycles(c))
             .collect();
-        let mut total = Counters::default();
-        for c in &per_block {
-            total.merge(c);
-        }
+        // flat-combining SIMD reduction — bit-identical to a serial merge
+        let total = Counters::flat_sum(&per_block);
         let traffic = self.cost.traffic_bytes(&total);
         let roofline = self.cost.roofline(&block_cycles, traffic);
         let t = roofline.total_s();
@@ -1092,13 +1128,19 @@ impl GpuContext {
             "BLK_DIM must be a multiple of 32"
         );
         let mut lap = Lap::start(self.hostprof.clone(), self.phase);
+        let mut scratch = std::mem::take(&mut self.step_scratch);
+        scratch.reset(cfg.blocks as usize);
+        let StepScratch {
+            ref mut order,
+            ref mut alive,
+            ref mut done,
+            ..
+        } = scratch;
         let device = &self.device;
         let shared_cap = self.shared_capacity_bytes;
         let parallel = rayon::current_num_threads() > 1;
 
         let mut slots: Vec<Option<(BlockCtx<'_>, S)>> = Vec::with_capacity(cfg.blocks as usize);
-        let mut alive = vec![true; cfg.blocks as usize];
-        let mut done: Vec<Option<Counters>> = vec![None; cfg.blocks as usize];
         for b in 0..cfg.blocks {
             let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, self.pooled_shared());
             blk.exclusive = true;
@@ -1108,7 +1150,6 @@ impl GpuContext {
         lap.lap(HostBucket::Dispatch);
         // identical xorshift wave shuffle to `launch_stepped`
         let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut order: Vec<usize> = (0..slots.len()).collect();
         let mut live = slots.len();
         while live > 0 {
             for i in (1..order.len()).rev() {
@@ -1164,7 +1205,7 @@ impl GpuContext {
             } else {
                 // Serial specialization: fuse plan+commit per block, exactly
                 // the `launch_stepped` wave loop.
-                for &i in &order {
+                for &i in order.iter() {
                     if !alive[i] {
                         continue;
                     }
@@ -1185,12 +1226,243 @@ impl GpuContext {
                 lap.lap(HostBucket::CommitSerial);
             }
         }
-        let per_block: Vec<Counters> = done
-            .into_iter()
-            .map(|c| c.expect("all blocks retired"))
-            .collect();
         drop(slots); // release the device borrow before the &mut epilogue
+        let mut per_block = std::mem::take(&mut self.counters_scratch);
+        per_block.clear();
+        per_block.extend(done.drain(..).map(|c| c.expect("all blocks retired")));
+        self.step_scratch = scratch;
+        lap.lap(HostBucket::ArenaAlloc);
         self.finish_launch(name, cfg, per_block)
+    }
+
+    /// Fused persistent-style round launch: runs a one-shot `scan` kernel
+    /// and a stepped `loop` (init/plan/commit, as in
+    /// [`GpuContext::launch_stepped_phased`]) as the two steps of a single
+    /// engine entry, so per-round dispatch, arena acquisition, and
+    /// scheduler setup are paid once and block scratch (shared-memory
+    /// backings, wave vectors) is carried across the step boundary instead
+    /// of round-tripping through the shared-pool mutex.
+    ///
+    /// **Observability contract** (DESIGN.md "Fused execution & the
+    /// single-plan contract"): the fused launch emits exactly what the
+    /// two-launch sequence
+    ///
+    /// ```text
+    /// set_phase(scan_phase); launch(scan_name, ..);
+    /// set_phase(loop_phase); launch_stepped_phased(loop_name, ..);
+    /// ```
+    ///
+    /// would — two [`LaunchRecord`]s with the same names, phases, counters,
+    /// timestamps, and roofline splits, the same device phase notes and
+    /// ledger stamps, and the same error values — at any rayon pool size.
+    /// The caller sets the scan phase before calling; the engine replays
+    /// the loop-phase transition internally between the steps. Host-profile
+    /// time the two-launch path booked as the loop launch's `dispatch`
+    /// (slot setup + init) is booked under [`HostBucket::FusedStep`], the
+    /// carried-state handoff.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_fused<S, P, FK, FI, FP, FC>(
+        &mut self,
+        scan_name: &'static str,
+        cfg: LaunchConfig,
+        scan_kernel: FK,
+        loop_phase: &'static str,
+        loop_name: &'static str,
+        init: FI,
+        plan: FP,
+        commit: FC,
+    ) -> Result<(), SimError>
+    where
+        S: Send,
+        P: Send,
+        FK: Fn(&mut BlockCtx<'_>) -> Result<(), KernelError> + Sync,
+        FI: Fn(&mut BlockCtx<'_>) -> Result<S, KernelError>,
+        FP: Fn(&mut BlockCtx<'_>, &mut S) -> Result<P, KernelError> + Sync,
+        FC: Fn(&mut BlockCtx<'_>, &mut S, P) -> Result<bool, KernelError>,
+    {
+        self.check_limit()?;
+        assert!(
+            cfg.threads_per_block.is_multiple_of(32),
+            "BLK_DIM must be a multiple of 32"
+        );
+        let n = cfg.blocks as usize;
+
+        // ---- step 1: scan (the block schedule of `launch`) --------------
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
+        // while the launch is in flight, ledger entries label with the
+        // active step's phase, not the sticky context label
+        self.device.set_launch_phase(Some(self.phase));
+        let mut scratch = std::mem::take(&mut self.step_scratch);
+        scratch.reset(n);
+        // top up the carried backings to one per block (first round only —
+        // afterwards the loop step leaves exactly one behind per block)
+        while scratch.carry.len() < n {
+            scratch.carry.push(self.pooled_shared());
+        }
+        scratch.carry.truncate(n);
+        let mut per_block = std::mem::take(&mut self.counters_scratch);
+        per_block.clear();
+        lap.lap(HostBucket::ArenaAlloc);
+        let scan_err: Option<KernelError> = {
+            let device = &self.device;
+            let shared_cap = self.shared_capacity_bytes;
+            let mut err = None;
+            if rayon::current_num_threads() <= 1 || cfg.blocks == 1 {
+                for b in 0..cfg.blocks {
+                    let shared = std::mem::take(&mut scratch.carry[b as usize]);
+                    let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, shared);
+                    blk.exclusive = true;
+                    let r = scan_kernel(&mut blk);
+                    scratch.carry[b as usize] = std::mem::take(&mut blk.shared);
+                    per_block.push(blk.counters);
+                    if let Err(e) = r {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            } else {
+                if let Some(p) = lap.profiler() {
+                    let pool = rayon::current_num_threads() as u32;
+                    p.sample_util(self.phase, cfg.blocks.min(pool), pool);
+                }
+                let inputs: Vec<(u32, Vec<u32>)> =
+                    (0..cfg.blocks).zip(scratch.carry.drain(..)).collect();
+                let results: Vec<(Result<(), KernelError>, Counters, Vec<u32>)> = inputs
+                    .into_par_iter()
+                    .map(|(b, shared)| {
+                        let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, shared);
+                        let r = scan_kernel(&mut blk);
+                        (r, blk.counters, std::mem::take(&mut blk.shared))
+                    })
+                    .collect();
+                for (r, c, shared) in results {
+                    scratch.carry.push(shared);
+                    per_block.push(c);
+                    if let (Err(e), None) = (r, &err) {
+                        err = Some(e);
+                    }
+                }
+            }
+            err
+        };
+        lap.lap(HostBucket::Dispatch);
+        self.device.set_launch_phase(None);
+        self.step_scratch = scratch;
+        if let Some(e) = scan_err {
+            self.counters_scratch = per_block;
+            self.counters_scratch.clear();
+            return Err(SimError::Kernel(e));
+        }
+        self.finish_launch(scan_name, cfg, per_block)?;
+
+        // ---- handoff: replay the loop-phase transition ------------------
+        self.set_phase(loop_phase);
+        self.device.set_launch_phase(Some(loop_phase));
+        // (the two-launch path re-checks the time limit when entering the
+        // loop launch; time_s is unchanged since finish_launch's trailing
+        // check just passed, so the predicate is identical — skip it)
+
+        // ---- step 2: loop (the wave schedule of `launch_stepped_phased`)
+        let mut lap = Lap::start(self.hostprof.clone(), self.phase);
+        let mut scratch = std::mem::take(&mut self.step_scratch);
+        let StepScratch {
+            ref mut order,
+            ref mut alive,
+            ref mut done,
+            ref mut carry,
+        } = scratch;
+        let device = &self.device;
+        let shared_cap = self.shared_capacity_bytes;
+        let parallel = rayon::current_num_threads() > 1;
+
+        let mut slots: Vec<Option<(BlockCtx<'_>, S)>> = Vec::with_capacity(n);
+        for b in 0..cfg.blocks {
+            let shared = std::mem::take(&mut carry[b as usize]);
+            let mut blk = BlockCtx::with_shared(device, b, cfg, shared_cap, shared);
+            blk.exclusive = true;
+            let state = init(&mut blk).map_err(SimError::Kernel)?;
+            slots.push(Some((blk, state)));
+        }
+        lap.lap(HostBucket::FusedStep);
+        // identical xorshift wave shuffle to `launch_stepped`
+        let mut rng = self.schedule_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut live = slots.len();
+        while live > 0 {
+            for i in (1..order.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let j = (rng % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            if parallel && live > 1 {
+                let wave: Vec<(usize, BlockCtx<'_>, S)> = order
+                    .iter()
+                    .filter(|&&i| alive[i])
+                    .map(|&i| {
+                        let (blk, st) = slots[i].take().expect("live block present");
+                        (i, blk, st)
+                    })
+                    .collect();
+                lap.lap(HostBucket::SchedulerWait);
+                if let Some(p) = lap.profiler() {
+                    let pool = rayon::current_num_threads() as u32;
+                    p.sample_util(self.phase, (live as u32).min(pool), pool);
+                }
+                let planned: Vec<(usize, BlockCtx<'_>, S, Result<P, KernelError>)> = wave
+                    .into_par_iter()
+                    .map(|(i, mut blk, mut st)| {
+                        blk.exclusive = false; // plans genuinely run concurrently
+                        let p = plan(&mut blk, &mut st);
+                        (i, blk, st, p)
+                    })
+                    .collect();
+                lap.lap(HostBucket::PlanParallel);
+                for (i, mut blk, mut st, p) in planned {
+                    blk.exclusive = true;
+                    match p.and_then(|p| commit(&mut blk, &mut st, p)) {
+                        Ok(true) => {
+                            slots[i] = Some((blk, st));
+                        }
+                        Ok(false) => {
+                            alive[i] = false;
+                            live -= 1;
+                            done[i] = Some(blk.counters);
+                            carry[i] = std::mem::take(&mut blk.shared);
+                        }
+                        Err(e) => return Err(SimError::Kernel(e)),
+                    }
+                }
+                lap.lap(HostBucket::CommitSerial);
+            } else {
+                for &i in order.iter() {
+                    if !alive[i] {
+                        continue;
+                    }
+                    let (blk, st) = slots[i].as_mut().expect("live block present");
+                    match plan(blk, st).and_then(|p| commit(blk, st, p)) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            alive[i] = false;
+                            live -= 1;
+                            let (mut blk, _) = slots[i].take().expect("live block present");
+                            done[i] = Some(blk.counters);
+                            carry[i] = std::mem::take(&mut blk.shared);
+                        }
+                        Err(e) => return Err(SimError::Kernel(e)),
+                    }
+                }
+                lap.lap(HostBucket::CommitSerial);
+            }
+        }
+        drop(slots); // release the device borrow before the &mut epilogue
+        self.device.set_launch_phase(None);
+        let mut per_block = std::mem::take(&mut self.counters_scratch);
+        per_block.clear();
+        per_block.extend(done.drain(..).map(|c| c.expect("all blocks retired")));
+        self.step_scratch = scratch;
+        lap.lap(HostBucket::ArenaAlloc);
+        self.finish_launch(loop_name, cfg, per_block)
     }
 
     /// Sets the wave-scheduling seed used by [`GpuContext::launch_stepped`].
@@ -1224,10 +1496,7 @@ impl GpuContext {
 
     /// Rollup of the whole run.
     pub fn report(&self) -> SimReport {
-        let mut counters = Counters::default();
-        for l in &self.launches {
-            counters.merge(&l.counters);
-        }
+        let counters = Counters::flat_sum_iter(self.launches.iter().map(|l| &l.counters));
         SimReport {
             total_ms: self.elapsed_ms(),
             launches: self.launches.len() as u64,
@@ -1586,5 +1855,117 @@ mod tests {
         assert_eq!(rep.h2d_bytes, 256);
         assert!(rep.total_ms > 0.0);
         assert_eq!(rep.peak_mem_bytes, 256);
+    }
+
+    #[test]
+    fn fused_launch_matches_two_launch_sequence() {
+        // The fused engine entry must emit exactly what the two-launch
+        // sequence (launch + set_phase + launch_stepped_phased) emits: two
+        // records with the same names, phases, counters, timestamps, and
+        // per-block cycles, plus the same device results.
+        let cfg = LaunchConfig {
+            blocks: 4,
+            threads_per_block: 32,
+        };
+        let run = |fused: bool| {
+            let mut c = ctx();
+            let pool = c.alloc("pool", 1).unwrap();
+            c.device.write_slice(pool, &[60]);
+            let taken = c.alloc("taken", 4).unwrap();
+            let scan = move |blk: &mut BlockCtx<'_>| {
+                blk.charge_instr(5);
+                blk.gwrite(&blk.device.buffer(taken)[blk.block_idx as usize], 1);
+                Ok(())
+            };
+            let init = move |_blk: &mut BlockCtx<'_>| Ok(0u32);
+            let plan = move |blk: &mut BlockCtx<'_>, _st: &mut u32| {
+                blk.charge_instr(1);
+                Ok(())
+            };
+            let commit = move |blk: &mut BlockCtx<'_>, st: &mut u32, _p: ()| {
+                let p = &blk.device.buffer(pool)[0];
+                if p.load(Ordering::Relaxed) == 0 {
+                    return Ok(false);
+                }
+                blk.atomic_sub(p, 1);
+                *st += 1;
+                blk.atomic_add(&blk.device.buffer(taken)[blk.block_idx as usize], 1);
+                Ok(true)
+            };
+            c.set_phase("Scan");
+            if fused {
+                c.launch_fused("scan", cfg, scan, "Loop", "loop", init, plan, commit)
+                    .unwrap();
+            } else {
+                c.launch("scan", cfg, scan).unwrap();
+                c.set_phase("Loop");
+                c.launch_stepped_phased("loop", cfg, init, plan, commit)
+                    .unwrap();
+            }
+            let out = c.dtoh(taken);
+            (c, out)
+        };
+        let (cf, out_fused) = run(true);
+        let (cs, out_split) = run(false);
+        assert_eq!(out_fused, out_split);
+        assert_eq!(out_fused.iter().sum::<u32>(), 60 + 4);
+        assert_eq!(cf.launches().len(), 2);
+        assert_eq!(cs.launches().len(), 2);
+        for (a, b) in cf.launches().iter().zip(cs.launches()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.start_s, b.start_s);
+            assert_eq!(a.time_s, b.time_s);
+            assert_eq!(a.block_cycles, b.block_cycles);
+        }
+        assert_eq!(cf.launches()[0].name, "scan");
+        assert_eq!(cf.launches()[0].phase, "Scan");
+        assert_eq!(cf.launches()[1].name, "loop");
+        assert_eq!(cf.launches()[1].phase, "Loop");
+    }
+
+    #[test]
+    fn fused_launch_propagates_errors_from_both_steps() {
+        let cfg = LaunchConfig {
+            blocks: 2,
+            threads_per_block: 32,
+        };
+        // scan-step error
+        let mut c = ctx();
+        let err = c
+            .launch_fused(
+                "scan",
+                cfg,
+                |_: &mut BlockCtx<'_>| Err(KernelError::Other("scan boom".into())),
+                "Loop",
+                "loop",
+                |_: &mut BlockCtx<'_>| Ok(0u32),
+                |_: &mut BlockCtx<'_>, _: &mut u32| Ok(()),
+                |_: &mut BlockCtx<'_>, _: &mut u32, _: ()| Ok(false),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Kernel(KernelError::Other(_))));
+        // commit-step error mid-wave
+        let mut c = ctx();
+        let err = c
+            .launch_fused(
+                "scan",
+                cfg,
+                |_: &mut BlockCtx<'_>| Ok(()),
+                "Loop",
+                "loop",
+                |_: &mut BlockCtx<'_>| Ok(0u32),
+                |_: &mut BlockCtx<'_>, _: &mut u32| Ok(()),
+                |blk: &mut BlockCtx<'_>, st: &mut u32, _: ()| {
+                    *st += 1;
+                    if blk.block_idx == 1 && *st == 3 {
+                        return Err(KernelError::Other("commit boom".into()));
+                    }
+                    Ok(*st < 5)
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Kernel(KernelError::Other(_))));
     }
 }

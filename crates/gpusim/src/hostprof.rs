@@ -38,7 +38,7 @@ use std::time::Instant;
 
 /// Schema version stamped into every [`HostProfile`] JSON. Bump on any
 /// change to the serialized shape so stale files are recognizable.
-pub const HOSTPROF_SCHEMA_VERSION: u32 = 1;
+pub const HOSTPROF_SCHEMA_VERSION: u32 = 2;
 
 /// Environment variable that opt-ins host profiling for contexts built via
 /// [`crate::SimOptions::context`] and for the global ingestion profiler:
@@ -185,17 +185,23 @@ pub enum HostBucket {
     SchedulerWait,
     /// Host↔device copy loops and transfer bookkeeping.
     Transfer,
+    /// The fused launch's inter-step handoff: carrying block state (shared
+    /// backings, counters) from the scan step into the loop step and
+    /// replaying the phase transition inside one dispatch
+    /// ([`GpuContext::launch_fused`](crate::GpuContext::launch_fused)).
+    FusedStep,
 }
 
 impl HostBucket {
     /// All buckets, in serialization order.
-    pub const ALL: [HostBucket; 6] = [
+    pub const ALL: [HostBucket; 7] = [
         HostBucket::Dispatch,
         HostBucket::PlanParallel,
         HostBucket::CommitSerial,
         HostBucket::ArenaAlloc,
         HostBucket::SchedulerWait,
         HostBucket::Transfer,
+        HostBucket::FusedStep,
     ];
 
     /// Stable snake_case label (the JSON field name minus the `_s` suffix).
@@ -207,6 +213,7 @@ impl HostBucket {
             HostBucket::ArenaAlloc => "arena",
             HostBucket::SchedulerWait => "scheduler_wait",
             HostBucket::Transfer => "transfer",
+            HostBucket::FusedStep => "fused_step",
         }
     }
 
@@ -218,6 +225,7 @@ impl HostBucket {
             HostBucket::ArenaAlloc => 3,
             HostBucket::SchedulerWait => 4,
             HostBucket::Transfer => 5,
+            HostBucket::FusedStep => 6,
         }
     }
 }
@@ -450,6 +458,7 @@ impl HostProfiler {
                 arena_s: acc.bucket_s[HostBucket::ArenaAlloc.idx()],
                 scheduler_wait_s: acc.bucket_s[HostBucket::SchedulerWait.idx()],
                 transfer_s: acc.bucket_s[HostBucket::Transfer.idx()],
+                fused_step_s: acc.bucket_s[HostBucket::FusedStep.idx()],
                 util_samples: acc.util_samples,
                 avg_busy_workers: if acc.util_samples == 0 {
                     0.0
@@ -644,6 +653,8 @@ pub struct HostPhase {
     pub scheduler_wait_s: f64,
     /// [`HostBucket::Transfer`] seconds.
     pub transfer_s: f64,
+    /// [`HostBucket::FusedStep`] seconds.
+    pub fused_step_s: f64,
     /// Number of pool-utilization samples taken in this phase.
     pub util_samples: u64,
     /// Mean busy workers per parallel region (0 when never sampled).
@@ -661,6 +672,7 @@ impl HostPhase {
             + self.arena_s
             + self.scheduler_wait_s
             + self.transfer_s
+            + self.fused_step_s
     }
 
     /// Bucket value by label order of [`HostBucket::ALL`].
@@ -672,6 +684,7 @@ impl HostPhase {
             HostBucket::ArenaAlloc => self.arena_s,
             HostBucket::SchedulerWait => self.scheduler_wait_s,
             HostBucket::Transfer => self.transfer_s,
+            HostBucket::FusedStep => self.fused_step_s,
         }
     }
 }

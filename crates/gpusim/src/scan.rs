@@ -97,12 +97,22 @@ pub fn ballot_scan(blk: &mut BlockCtx<'_>, flags: &[bool]) -> (Vec<u32>, u32) {
 /// `ballot_sync` on bool flags followed by `ballot_scan`'s offset step —
 /// so fast-path callers that keep predicates as bits charge the same.
 pub fn ballot_scan_offsets(blk: &mut BlockCtx<'_>, bits: u32) -> ([u32; WARP_SIZE], u32) {
+    // The simulated instruction sequence is data-independent, so the charge
+    // is the same whether the ballot is empty or full.
     blk.charge_instr(3);
-    let mut offsets = [0u32; WARP_SIZE];
-    for (lane, slot) in offsets.iter_mut().enumerate() {
-        *slot = (bits & lane_mask_lt(lane)).count_ones();
+    if bits == 0 {
+        // all-empty chunk — the common case between k-shell cascades
+        return ([0u32; WARP_SIZE], 0);
     }
-    (offsets, bits.count_ones())
+    // offsets[lane] = popcount(bits & lane_mask_lt(lane)), computed as one
+    // running sum instead of 32 masked popcounts
+    let mut offsets = [0u32; WARP_SIZE];
+    let mut acc = 0u32;
+    for (lane, slot) in offsets.iter_mut().enumerate() {
+        *slot = acc;
+        acc += (bits >> lane) & 1;
+    }
+    (offsets, acc)
 }
 
 /// Intra-block two-stage exclusive scan (Fig. 9) over one value per thread.
@@ -128,46 +138,59 @@ pub fn block_two_stage_scan(blk: &mut BlockCtx<'_>, values: &[u32]) -> (Vec<u32>
 /// form. `out.len()` must equal `values.len()`. Returns the total.
 pub fn block_two_stage_scan_into(blk: &mut BlockCtx<'_>, values: &[u32], out: &mut [u32]) -> u32 {
     let n = values.len();
+    assert_eq!(out.len(), n, "output slice must match value count");
+    block_two_stage_scan_charges(blk, n);
+    let mut acc = 0u32;
+    for (slot, &v) in out.iter_mut().zip(values) {
+        *slot = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Books exactly the charges [`block_two_stage_scan_into`] books for an
+/// `n`-value scan, without computing the scan. The three stages compose to
+/// a plain exclusive scan (warp-inclusive, minus own value, plus the
+/// exclusive warp offset), and every charge is a pure function of the
+/// geometry, never of the data — so a caller that already knows the values
+/// are all zero (no set flag in the chunk) can pay the cost model and skip
+/// the arithmetic, bit-identically.
+pub fn block_two_stage_scan_charges(blk: &mut BlockCtx<'_>, n: usize) {
     assert_eq!(
         n, blk.cfg.threads_per_block as usize,
         "one value per thread"
     );
-    assert_eq!(out.len(), n, "output slice must match value count");
     let num_warps = n.div_ceil(WARP_SIZE);
     assert!(num_warps <= WARP_SIZE, "warp totals must fit one warp");
 
-    // Stage 1: per-warp inclusive scans (warps run concurrently on hardware;
-    // we charge each warp's HS individually inside hs_inclusive_scan),
-    // computed in place inside `out`.
-    out.copy_from_slice(values);
-    let mut warp_totals = [0u32; WARP_SIZE];
-    for w in 0..num_warps {
-        let lo = w * WARP_SIZE;
-        let hi = ((w + 1) * WARP_SIZE).min(n);
-        hs_inclusive_scan(blk, &mut out[lo..hi]);
-        warp_totals[w] = out[hi - 1];
+    // Stage 1: every warp pays one HS scan over its lane width (2 SIMT
+    // instructions per doubling step, `hs_steps` steps).
+    let full_warps = (n / WARP_SIZE) as u64;
+    let rem = n % WARP_SIZE;
+    let mut instrs = full_warps * 2 * hs_steps(WARP_SIZE);
+    if rem > 0 {
+        instrs += 2 * hs_steps(rem);
     }
-    // Stage 2: warp totals to shared memory, barrier, then warp 0 scans them
-    // (cannot use ballot scan here: "elements are not 0-1", §IV-C).
+    blk.charge_instr(instrs);
+    // Stage 2: warp totals to shared memory, barrier, then warp 0 alone
+    // HS-scans the totals (cannot use ballot scan here: "elements are not
+    // 0-1", §IV-C).
     blk.counters.shared_accesses += num_warps as u64 * 2; // deposit + reload
     blk.sync_threads();
-    let warp_offsets = &mut warp_totals[..num_warps];
-    hs_inclusive_scan(blk, warp_offsets);
-    let total = warp_offsets.last().copied().unwrap_or(0);
-    // convert inclusive warp sums to exclusive warp offsets
-    for w in (1..num_warps).rev() {
-        warp_offsets[w] = warp_offsets[w - 1];
-    }
-    if num_warps > 0 {
-        warp_offsets[0] = 0;
-    }
+    blk.charge_instr(2 * hs_steps(num_warps));
     blk.sync_threads();
-    // Stage 3: each thread's exclusive offset = inclusive - own + warp offset
-    blk.charge_instr(num_warps as u64); // one SIMT add per warp
-    for i in 0..n {
-        out[i] = out[i] - values[i] + warp_offsets[i / WARP_SIZE];
+    // Stage 3: one SIMT add per warp folds in the warp offset.
+    blk.charge_instr(num_warps as u64);
+}
+
+/// Doubling steps (`ceil(log2(n))`) a Hillis–Steele scan takes over `n`
+/// lanes — the step count [`hs_inclusive_scan`] charges 2 instructions for.
+fn hs_steps(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
     }
-    total
 }
 
 /// Host-side reference exclusive scan, for tests.

@@ -330,7 +330,16 @@ fn summarize_phases(
         p.launch_overhead_ms += l.roofline.launch_overhead_s * 1e3;
         p.compute_ms += l.roofline.compute_s * 1e3;
         p.mem_ms += l.roofline.mem_s * 1e3;
-        p.counters.merge(&l.counters);
+    }
+    // Counters are u64 sums, so unlike the f64 columns above they can be
+    // flat-combined per phase in one vectorized pass each.
+    for p in &mut phases {
+        p.counters = Counters::flat_sum_iter(
+            launches
+                .iter()
+                .filter(|l| l.phase == p.phase)
+                .map(|l| &l.counters),
+        );
     }
     for t in transfers {
         let i = find(&mut phases, t.phase);

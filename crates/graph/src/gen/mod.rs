@@ -81,11 +81,29 @@ pub fn relabel(g: &Csr, seed: u64) -> Csr {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    let mut b = GraphBuilder::with_num_vertices(n);
-    for (u, v) in g.edges() {
-        b.add_edge(perm[u as usize], perm[v as usize]);
+    // `g` is already a normalized simple CSR and `perm` is a bijection, so
+    // the relabeled graph's unique normalized form is just
+    // `sorted(perm[neighbors(u)])` placed at `perm[u]` — build it directly
+    // instead of re-normalizing all `2|E|` endpoints through
+    // [`GraphBuilder`]. `relabel_matches_builder` pins bit-equality against
+    // the builder path.
+    let mut offsets = vec![0u64; n as usize + 1];
+    for u in 0..n {
+        offsets[perm[u as usize] as usize + 1] = g.degree(u) as u64;
     }
-    b.build()
+    for i in 0..n as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut neighbors = vec![0u32; g.num_arcs() as usize];
+    for u in 0..n {
+        let nu = perm[u as usize] as usize;
+        let list = &mut neighbors[offsets[nu] as usize..offsets[nu + 1] as usize];
+        for (slot, &v) in list.iter_mut().zip(g.neighbors(u)) {
+            *slot = perm[v as usize];
+        }
+        list.sort_unstable();
+    }
+    Csr::from_parts_unchecked(offsets, neighbors)
 }
 
 #[cfg(test)]
@@ -106,6 +124,29 @@ mod tests {
         // deterministic and (overwhelmingly) not identity
         assert_eq!(relabel(&g, 9), r);
         assert_ne!(r, g);
+    }
+
+    #[test]
+    fn relabel_matches_builder() {
+        // The direct CSR construction must be bit-identical to pushing the
+        // permuted edge list back through the normalizing builder.
+        let g = erdos_renyi_gnm(500, 2000, 5);
+        let g = plant_clique(&g, 16, 6);
+        let seed = 9u64;
+        let direct = relabel(&g, seed);
+        // Oracle: re-derive the same permutation and re-normalize.
+        let n = g.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<VertexId> = (0..n).collect();
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut b = GraphBuilder::with_num_vertices(n);
+        for (u, v) in g.edges() {
+            b.add_edge(perm[u as usize], perm[v as usize]);
+        }
+        assert_eq!(direct, b.build());
     }
 
     #[test]

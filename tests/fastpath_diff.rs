@@ -1,13 +1,16 @@
-//! Differential tests: the warp-vectorized fast path vs the per-lane
-//! reference path (DESIGN.md "Fast-path cost accounting").
+//! Differential tests: the three host execution paths against each other
+//! (DESIGN.md "Fast-path cost accounting" and "Fused execution & the
+//! single-plan contract").
 //!
-//! [`kcore_gpu::ExecPath::Fast`] swaps in bulk-charged kernels and the
-//! two-phase parallel wave scheduler; [`kcore_gpu::ExecPath::Reference`]
-//! retains the original per-access kernels on the serial wave loop. The
-//! contract is that the choice is **unobservable**: identical core numbers,
-//! identical per-phase counters, identical trace fingerprints, identical
-//! Perfetto timeline bytes — across every Table II variant, on randomized
-//! graphs, at every rayon pool size.
+//! [`kcore_gpu::ExecPath::Fused`] (the default) runs scan + loop inside one
+//! fused engine entry; [`kcore_gpu::ExecPath::Fast`] dispatches the same
+//! warp-vectorized kernels as two launches per round on the two-phase
+//! parallel wave scheduler; [`kcore_gpu::ExecPath::Reference`] retains the
+//! original per-access kernels on the serial wave loop. The contract is
+//! that the choice is **unobservable**: identical core numbers, identical
+//! per-phase counters, identical trace fingerprints, identical Perfetto
+//! timeline bytes — across every Table II variant, on randomized graphs,
+//! at every rayon pool size.
 
 use kcore_gpu::{ExecPath, PeelConfig};
 use kcore_gpusim::{LaunchConfig, SimOptions, Trace};
@@ -24,12 +27,17 @@ fn run(g: &Csr, cfg: &PeelConfig) -> (Vec<u32>, u32, String, String) {
 }
 
 fn assert_paths_identical(g: &Csr, cfg: &PeelConfig, what: &str) {
-    let fast = run(g, &cfg.with_exec_path(ExecPath::Fast));
     let reference = run(g, &cfg.with_exec_path(ExecPath::Reference));
-    assert_eq!(fast.0, reference.0, "{what}: core numbers diverged");
-    assert_eq!(fast.1, reference.1, "{what}: round count diverged");
-    assert_eq!(fast.2, reference.2, "{what}: trace JSON diverged");
-    assert_eq!(fast.3, reference.3, "{what}: Perfetto timeline diverged");
+    for path in [ExecPath::Fused, ExecPath::Fast] {
+        let got = run(g, &cfg.with_exec_path(path));
+        assert_eq!(got.0, reference.0, "{what}: {path:?} core numbers diverged");
+        assert_eq!(got.1, reference.1, "{what}: {path:?} round count diverged");
+        assert_eq!(got.2, reference.2, "{what}: {path:?} trace JSON diverged");
+        assert_eq!(
+            got.3, reference.3,
+            "{what}: {path:?} Perfetto timeline diverged"
+        );
+    }
 }
 
 fn small_cfg() -> PeelConfig {
@@ -106,16 +114,21 @@ fn identical_across_rayon_pool_sizes() {
             .num_threads(threads)
             .build()
             .unwrap();
-        let fast = pool.install(|| run(&g, &cfg.with_exec_path(ExecPath::Fast)));
-        assert_eq!(
-            fast.0, reference.0,
-            "core numbers diverged at pool size {threads}"
-        );
-        assert_eq!(fast.2, reference.2, "trace diverged at pool size {threads}");
-        assert_eq!(
-            fast.3, reference.3,
-            "timeline diverged at pool size {threads}"
-        );
+        for path in [ExecPath::Fused, ExecPath::Fast] {
+            let got = pool.install(|| run(&g, &cfg.with_exec_path(path)));
+            assert_eq!(
+                got.0, reference.0,
+                "{path:?} core numbers diverged at pool size {threads}"
+            );
+            assert_eq!(
+                got.2, reference.2,
+                "{path:?} trace diverged at pool size {threads}"
+            );
+            assert_eq!(
+                got.3, reference.3,
+                "{path:?} timeline diverged at pool size {threads}"
+            );
+        }
     }
 }
 
@@ -130,7 +143,9 @@ fn counter_fingerprints_match() {
             kcore_gpu::decompose_in(&mut ctx, &g, &cfg.with_exec_path(path)).unwrap();
             Trace::counters_fingerprint(&ctx.trace("fp"))
         };
-        assert_eq!(fp(ExecPath::Fast), fp(ExecPath::Reference));
+        let reference = fp(ExecPath::Reference);
+        assert_eq!(fp(ExecPath::Fast), reference);
+        assert_eq!(fp(ExecPath::Fused), reference);
     }
 }
 
@@ -153,5 +168,7 @@ fn overflow_errors_are_path_invariant() {
             .unwrap_err()
             .to_string()
     };
-    assert_eq!(err_of(ExecPath::Fast), err_of(ExecPath::Reference));
+    let reference = err_of(ExecPath::Reference);
+    assert_eq!(err_of(ExecPath::Fast), reference);
+    assert_eq!(err_of(ExecPath::Fused), reference);
 }
