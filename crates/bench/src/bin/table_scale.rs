@@ -1,0 +1,315 @@
+//! The billion-edge scaling table: edge-partitioned sharded decomposition
+//! across 1/2/4/8 worker devices and both partitioners (DESIGN.md "Sharded
+//! decomposition").
+//!
+//! Two sections:
+//!
+//! * **Scaling curve** — on the `@2x` high-fidelity stand-ins, simulated
+//!   wall time, speedup over the 1-device run, exchange volume, sub-rounds,
+//!   and max per-device peak memory, for every (devices × partitioner)
+//!   point. Worker phases overlap (time is max-over-workers per phase), so
+//!   the curve shows real scaling, while the exchange column shows what it
+//!   costs at the borders.
+//! * **Full-scale fit** — per-shard [`kcore_gpusim::MemStats::extrapolate`]
+//!   forecasts for uk-2005 at paper scale (39.5 M vertices, 936 M edges)
+//!   against 16 GB P100 devices: the max predicted per-device peak for each
+//!   pool size, proving where the billion-edge rows fit.
+//!
+//! Env knobs: `KCORE_PARTITION=balanced|degree` restricts the partitioner
+//! column; `KCORE_EXEC_PATH` selects the worker kernel path as everywhere
+//! else (inherited via the harness peel config).
+//!
+//! With `--check` (used by `scripts/ci.sh`), runs the smoke datasets
+//! instead and asserts the sharded contract: cores equal BZ at every pool
+//! size, zero exchange at one device, shard-local worker residency, max
+//! per-device peak strictly decreasing 1 → 2 → 4 devices, and the uk-2005
+//! @1x forecast fitting on ≤ 8 devices.
+
+use kcore_bench::{prepare, prepare_all, print_table, save_json};
+use kcore_gpu::{decompose_multi, decompose_multi_traced, shard_memstats, MultiGpuConfig};
+use kcore_gpusim::P100_DEVICE_BYTES;
+use kcore_graph::datasets;
+use kcore_graph::PartitionStrategy;
+use serde::Serialize;
+
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct ScaleRow {
+    dataset: String,
+    partitioner: &'static str,
+    devices: usize,
+    exec_path: String,
+    total_ms: f64,
+    speedup: f64,
+    sub_rounds: u32,
+    exchanged_bytes: u64,
+    max_device_peak_bytes: u64,
+    total_peak_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct FitRow {
+    dataset: String,
+    partitioner: &'static str,
+    devices: usize,
+    full_vertices: u64,
+    full_arcs: u64,
+    /// Max over shards of the per-device full-scale prediction.
+    max_predicted_peak_bytes: u64,
+    device_capacity_bytes: u64,
+    fits: bool,
+}
+
+#[derive(Serialize)]
+struct TableScale {
+    scaling: Vec<ScaleRow>,
+    fit: Vec<FitRow>,
+}
+
+fn partition_from_env() -> Vec<PartitionStrategy> {
+    match std::env::var("KCORE_PARTITION")
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "" => vec![
+            PartitionStrategy::BalancedArcs,
+            PartitionStrategy::DegreeAware,
+        ],
+        "balanced" => vec![PartitionStrategy::BalancedArcs],
+        "degree" => vec![PartitionStrategy::DegreeAware],
+        other => panic!("KCORE_PARTITION must be balanced or degree (got {other:?})"),
+    }
+}
+
+fn mb(b: u64) -> f64 {
+    b as f64 / (1024.0 * 1024.0)
+}
+
+/// The scaling sweep over one prepared dataset environment.
+fn sweep(e: &kcore_bench::Env, strategies: &[PartitionStrategy], check: bool) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    for &strategy in strategies {
+        let mut base_ms = None;
+        let mut prev_peak = u64::MAX;
+        for &p in &DEVICE_COUNTS {
+            let cfg = MultiGpuConfig {
+                num_gpus: p,
+                peel: e.peel_cfg,
+                partition: strategy,
+                ..MultiGpuConfig::default()
+            };
+            let run = decompose_multi(&e.graph, &cfg, &e.sim).unwrap();
+            assert_eq!(
+                run.core,
+                e.truth,
+                "{} p={p} {}",
+                e.dataset.name,
+                strategy.name()
+            );
+            let base = *base_ms.get_or_insert(run.total_ms);
+            let max_peak = run.per_device_peak_bytes.iter().copied().max().unwrap_or(0);
+            if check {
+                if p == 1 {
+                    assert_eq!(run.exchanged_bytes, 0, "one device must not exchange");
+                } else {
+                    assert!(
+                        max_peak < prev_peak,
+                        "{} {}: per-device peak must shrink with the pool \
+                         ({max_peak} B at p={p} !< {prev_peak} B)",
+                        e.dataset.name,
+                        strategy.name()
+                    );
+                }
+            }
+            prev_peak = max_peak;
+            rows.push(ScaleRow {
+                dataset: e.dataset.name.to_string(),
+                partitioner: strategy.name(),
+                devices: p,
+                exec_path: format!("{:?}", run.exec_path).to_ascii_lowercase(),
+                total_ms: run.total_ms,
+                speedup: base / run.total_ms,
+                sub_rounds: run.sub_rounds,
+                exchanged_bytes: run.exchanged_bytes,
+                max_device_peak_bytes: max_peak,
+                total_peak_bytes: run.total_peak_mem_bytes,
+            });
+        }
+    }
+    rows
+}
+
+/// Per-shard full-scale forecast: each worker's memstats extrapolated to
+/// its share of the paper-scale dimensions (shard-local dims × the
+/// stand-in's vertex/arc ratios).
+fn fit_rows(e: &kcore_bench::Env, strategies: &[PartitionStrategy]) -> Vec<FitRow> {
+    let full_v = e.dataset.paper.num_vertices;
+    let full_a = 2 * e.dataset.paper.num_edges;
+    let vratio = full_v as f64 / e.stats.num_vertices.max(1) as f64;
+    let aratio = full_a as f64 / (2 * e.stats.num_edges.max(1)) as f64;
+    let mut rows = Vec::new();
+    for &strategy in strategies {
+        for &p in &DEVICE_COUNTS {
+            let cfg = MultiGpuConfig {
+                num_gpus: p,
+                peel: e.peel_cfg,
+                partition: strategy,
+                ..MultiGpuConfig::default()
+            };
+            let fleet = shard_memstats(&e.graph, &cfg, &e.sim).unwrap();
+            let mut max_peak = 0u64;
+            let mut all_fit = true;
+            for stats in &fleet.devices {
+                let shard_full_v = (stats.sim_vertices as f64 * vratio) as u64;
+                let shard_full_a = (stats.sim_arcs as f64 * aratio) as u64;
+                let f = stats.extrapolate(shard_full_v, shard_full_a);
+                max_peak = max_peak.max(f.predicted_peak_bytes);
+                all_fit &= f.fits;
+            }
+            rows.push(FitRow {
+                dataset: e.dataset.name.to_string(),
+                partitioner: strategy.name(),
+                devices: p,
+                full_vertices: full_v,
+                full_arcs: full_a,
+                max_predicted_peak_bytes: max_peak,
+                device_capacity_bytes: P100_DEVICE_BYTES,
+                fits: all_fit,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let strategies = partition_from_env();
+
+    // --check exercises the contract on the fast smoke stand-ins; the real
+    // table runs the @2x high-fidelity rows.
+    let envs: Vec<kcore_bench::Env> = if check {
+        prepare_all()
+    } else {
+        datasets::scaled_up_variants()
+            .into_iter()
+            .map(prepare)
+            .collect()
+    };
+
+    let mut scaling = Vec::new();
+    for e in &envs {
+        eprintln!("[table_scale] {}", e.dataset.name);
+        scaling.extend(sweep(e, &strategies, check));
+    }
+
+    // Residency spot check: every worker ledger is shard-local (the
+    // partition contract memstats sees), on the first dataset at 4 devices.
+    if check {
+        let e = &envs[0];
+        let cfg = MultiGpuConfig {
+            num_gpus: 4,
+            peel: e.peel_cfg,
+            ..MultiGpuConfig::default()
+        };
+        let (_, traces) = decompose_multi_traced(&e.graph, &cfg, &e.sim).unwrap();
+        let n = e.graph.num_vertices() as u64;
+        for (wi, t) in traces.iter().enumerate() {
+            let deg = t
+                .memstats
+                .allocations
+                .iter()
+                .find(|a| a.name == "deg")
+                .expect("worker must ledger a deg allocation");
+            assert!(
+                deg.elems < n,
+                "worker {wi} deg has {} elems — not shard-local (|V| = {n})",
+                deg.elems
+            );
+            assert_eq!(
+                deg.elems, t.memstats.sim_vertices,
+                "ledger vs workload dims"
+            );
+        }
+        eprintln!("[table_scale] residency OK: worker ledgers are shard-local");
+    }
+
+    // Full-scale fit forecast for the paper's billion-edge web row.
+    let uk = prepare(datasets::by_name("uk-2005").expect("registry has uk-2005"));
+    let fit = fit_rows(&uk, &strategies);
+    if check {
+        let fits_at_8 = fit.iter().any(|r| r.devices == 8 && r.fits);
+        assert!(fits_at_8, "uk-2005 @1x must fit on 8 x 16 GB devices");
+    }
+
+    let headers: Vec<String> = [
+        "Dataset",
+        "Partitioner",
+        "Devices",
+        "ms",
+        "Speedup",
+        "Exch MB",
+        "Max dev MB",
+        "Sub-rounds",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.partitioner.to_string(),
+                r.devices.to_string(),
+                format!("{:.2}", r.total_ms),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}", mb(r.exchanged_bytes)),
+                format!("{:.1}", mb(r.max_device_peak_bytes)),
+                r.sub_rounds.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\nSHARDED SCALING ({} path)\n",
+        scaling
+            .first()
+            .map(|r| r.exec_path.as_str())
+            .unwrap_or("fused")
+    );
+    print_table(&headers, &rows);
+
+    let fit_headers: Vec<String> = [
+        "Dataset",
+        "Partitioner",
+        "Devices",
+        "Max dev GB @1x",
+        "Fits 16 GB",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let fit_rows_txt: Vec<Vec<String>> = fit
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.partitioner.to_string(),
+                r.devices.to_string(),
+                format!(
+                    "{:.2}",
+                    r.max_predicted_peak_bytes as f64 / (1 << 30) as f64
+                ),
+                if r.fits { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nFULL-SCALE FIT FORECAST (per-device predicted peak vs 16 GB P100)\n");
+    print_table(&fit_headers, &fit_rows_txt);
+
+    save_json("table_scale", &TableScale { scaling, fit });
+    if check {
+        eprintln!("[table_scale] check OK: sharded contract holds on smoke datasets");
+    }
+}

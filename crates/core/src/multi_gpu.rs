@@ -1,4 +1,5 @@
-//! Multi-GPU k-core decomposition — the paper's §VII future work, built out.
+//! Multi-GPU k-core decomposition — the paper's §VII future work, built out
+//! as real edge-partitioned sharding.
 //!
 //! > "we can partition a graph among worker GPUs running our kernels, but
 //! > degree updates of border vertices would be aggregated afterwards, which
@@ -6,37 +7,66 @@
 //! > border vertices to be in k-shell, so more than one round may be needed
 //! > to compute a k-shell."
 //!
-//! Design implemented here:
+//! Design implemented here (see DESIGN.md "Sharded decomposition"):
 //!
-//! * vertices are range-partitioned across `num_gpus` simulated devices;
-//!   each worker holds the CSR rows of its own vertices (edges to ghosts
-//!   included) plus a full-length degree array that is *authoritative only
-//!   for its own range*;
-//! * each peeling round `k` runs **sub-rounds**: every worker executes the
-//!   scan/loop kernels against its local vertices, applying the
-//!   decrement-and-recover protocol to local neighbors and *accumulating*
-//!   decrements destined for ghost vertices in a per-worker update buffer;
-//! * after the local loops drain, border updates are shipped to the owners
-//!   (master-aggregated, as the paper sketches): an owner applies the
-//!   aggregate decrements with a floor at `k` — a vertex that lands exactly
-//!   on `k` is seeded into the owner's next sub-round (the paper's "new
-//!   border vertices in the k-shell");
-//! * sub-rounds repeat until no worker produced border updates or seeds;
-//!   wall time per phase is the *max* over workers (they run concurrently)
-//!   plus the inter-GPU transfer cost of the update exchange.
+//! * the graph is split by a [`Partition`] (balanced-arcs ranges or the
+//!   degree-aware hub-splitting strategy) into per-shard **local-ID
+//!   compacted CSRs**: each worker device holds only its owned rows, its
+//!   ghost table, and its share of the arcs — O(owned + ghosts) residency,
+//!   not the old O(|V|)-per-worker replicated arrays;
+//! * every worker runs the **real scan/loop peel kernels** from [`peel`]
+//!   over its shard, on whichever [`ExecPath`] the config selects, executed
+//!   concurrently on the rayon pool;
+//! * ghost vertices use the **sentinel-accumulator protocol**: their `deg`
+//!   slots are pinned at [`GHOST_BASE`], so the unmodified loop kernel's
+//!   decrement-and-recover arithmetic simply counts border decrements in
+//!   the slot (a ghost can never scan-match `k`, never crosses `k + 1`, and
+//!   never dips below the recover floor). After the local loops drain, the
+//!   host reads each slot's delta, resets it, and ships `(vertex, delta)`
+//!   packets through the master to the owners;
+//! * owners apply aggregated border decrements with a floor at `k`; a
+//!   vertex landing exactly on `k` is seeded into the owner's next
+//!   sub-round (the paper's "new border vertices in the k-shell") via a
+//!   seed launch that rebuilds the per-block frontier, followed by a
+//!   loop-only launch — never a re-scan;
+//! * sub-rounds repeat until the exchange produces no seeds; wall time per
+//!   phase is the *max* over workers (they run concurrently) plus the
+//!   link cost of each exchange.
+//!
+//! **Determinism.** The merge order is fixed: ghost drains happen in shard
+//! index order, updates are aggregated by ascending global vertex ID, and
+//! owner lookup is the O(1) partition map. Worker kernels run on private
+//! contexts whose engine is pool-size-independent, so traces, counters,
+//! `total_ms` and `exchanged_bytes` are bit-identical at any rayon pool
+//! size — `tests/multi_shard.rs` pins this.
 
-use crate::config::PeelConfig;
+use crate::config::{ExecPath, PeelConfig};
 use crate::peel;
-use kcore_gpusim::{GpuContext, SimError, SimOptions, SizeClass};
-use kcore_graph::{Csr, GraphBuilder};
+use kcore_gpusim::{
+    BlockCtx, BufferId, FleetMemStats, GpuContext, KernelError, SimError, SimOptions, SizeClass,
+    Trace,
+};
+use kcore_graph::{Csr, Partition, PartitionStrategy};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Sentinel base value for ghost `deg` slots. Large enough that a ghost can
+/// never equal the round's `k` (scan), cross `k + 1` (frontier append), or
+/// fall to the recover floor: a slot absorbs at most one decrement per
+/// incident arc per run, and `|V| < 2^30` is asserted up front.
+const GHOST_BASE: u32 = 0x7FFF_FFFF;
 
 /// Configuration of a multi-GPU run.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiGpuConfig {
     /// Number of worker GPUs (each gets its own simulated device).
     pub num_gpus: usize,
-    /// Kernel configuration used by every worker.
+    /// Kernel configuration used by every worker (including the
+    /// [`ExecPath`] — workers honor `KCORE_EXEC_PATH` whenever the caller
+    /// parsed it into `peel.exec_path`, as the bench harness does).
     pub peel: PeelConfig,
+    /// Vertex-to-shard assignment strategy.
+    pub partition: PartitionStrategy,
     /// Inter-GPU link bandwidth, bytes/s (PCIe peer-to-peer ≈ 10 GB/s on
     /// the paper-era platform; NVLink would be ~40 GB/s).
     pub link_bandwidth: f64,
@@ -49,6 +79,7 @@ impl Default for MultiGpuConfig {
         MultiGpuConfig {
             num_gpus: 4,
             peel: PeelConfig::default(),
+            partition: PartitionStrategy::BalancedArcs,
             link_bandwidth: 10e9,
             link_latency_s: 10e-6,
         }
@@ -67,25 +98,30 @@ pub struct MultiGpuRun {
     /// Total sub-rounds across all rounds (> rounds when k-shells span
     /// partition borders).
     pub sub_rounds: u32,
+    /// Execution path the worker kernels ran on.
+    pub exec_path: ExecPath,
     /// Simulated wall time (max-over-workers per phase + exchanges), ms.
     pub total_ms: f64,
     /// Sum of worker device peaks, bytes.
     pub total_peak_mem_bytes: u64,
+    /// Each worker device's peak, bytes, in shard order.
+    pub per_device_peak_bytes: Vec<u64>,
+    /// Each worker trace's counters fingerprint, in shard order.
+    pub worker_fingerprints: Vec<u64>,
     /// Bytes exchanged between devices over the whole run.
     pub exchanged_bytes: u64,
 }
 
-/// One worker's sub-round outcome (host-visible).
-struct WorkerState {
+/// One worker: a device context holding its shard's peel working set.
+struct Worker {
     ctx: GpuContext,
-    /// This worker's vertex range in the global ID space.
-    lo: u32,
-    hi: u32,
-    /// Local subgraph: rows for `lo..hi` plus ghost stubs (ghosts have empty
-    /// adjacency; their degrees are tracked by their owners).
-    local: Csr,
-    /// Authoritative degrees for `lo..hi` (host mirror of the device state;
-    /// the simulated kernels operate on the device copy).
+    st: peel::DeviceState,
+    n_owned: usize,
+    /// Exchange staging buffer (ledger residency for update packets).
+    d_xfer: Option<BufferId>,
+    /// Cumulative `gpu_count` readback = owned vertices removed so far.
+    count: u64,
+    /// Border seeds (local IDs, ascending) for the next sub-round.
     seeds: Vec<u32>,
 }
 
@@ -96,243 +132,413 @@ pub fn decompose_multi(
     cfg: &MultiGpuConfig,
     opts: &SimOptions,
 ) -> Result<MultiGpuRun, SimError> {
+    decompose_multi_traced(g, cfg, opts).map(|(run, _)| run)
+}
+
+/// [`decompose_multi`], also returning each worker's [`Trace`] (in shard
+/// order) for golden pinning and per-device memstats inspection.
+pub fn decompose_multi_traced(
+    g: &Csr,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+) -> Result<(MultiGpuRun, Vec<Trace>), SimError> {
     assert!(cfg.num_gpus >= 1);
     let n = g.num_vertices() as usize;
     if n == 0 {
-        return Ok(MultiGpuRun {
-            core: Vec::new(),
-            k_max: 0,
-            rounds: 0,
-            sub_rounds: 0,
-            total_ms: 0.0,
-            total_peak_mem_bytes: 0,
-            exchanged_bytes: 0,
-        });
+        return Ok((
+            MultiGpuRun {
+                core: Vec::new(),
+                k_max: 0,
+                rounds: 0,
+                sub_rounds: 0,
+                exec_path: cfg.peel.exec_path,
+                total_ms: 0.0,
+                total_peak_mem_bytes: 0,
+                per_device_peak_bytes: Vec::new(),
+                worker_fingerprints: Vec::new(),
+                exchanged_bytes: 0,
+            },
+            Vec::new(),
+        ));
     }
-    let p = cfg.num_gpus.min(n);
+    assert!(n < (1 << 30), "ghost sentinel headroom requires |V| < 2^30");
     // Orchestration runs on the host across worker contexts, so its spans
     // land on the process-global profiler rather than any one context's.
     let prof = kcore_gpusim::hostprof::global();
     let _run_span = prof.map(|hp| hp.span("multi_gpu/decompose"));
 
-    // ---- partition & build local subgraphs -------------------------------
+    // ---- partition & load shards ----------------------------------------
     let partition_span = prof.map(|hp| hp.span("multi_gpu/partition"));
-    let mut workers: Vec<WorkerState> = Vec::with_capacity(p);
-    for w in 0..p {
-        let lo = (w * n / p) as u32;
-        let hi = ((w + 1) * n / p) as u32;
-        // Local subgraph keeps global IDs; rows outside [lo, hi) are empty.
-        let mut b = GraphBuilder::with_num_vertices(n as u32);
-        for v in lo..hi {
-            for &u in g.neighbors(v) {
-                b.add_edge(v, u);
-            }
-        }
-        let local = b.build();
-        // Each worker's resident set, held for the whole run: its local CSR
-        // rows, a full-length degree array (authoritative for [lo, hi)), and
-        // the peel scratch buffer. Real ledger allocations — `memstats()` on
-        // a worker context sees them — and allocs charge no simulated time,
-        // so per-phase kernel timing is untouched.
-        let mut ctx = opts.context();
-        ctx.set_phase("Setup");
-        ctx.set_workload_dims(n as u64, local.num_arcs());
-        ctx.alloc_tagged(
-            "mgpu.local_arcs",
-            local.num_arcs() as usize,
-            SizeClass::PerArc,
-        )?;
-        ctx.alloc_tagged("mgpu.deg", n, SizeClass::PerVertex)?;
-        ctx.alloc_tagged("mgpu.buf", cfg.peel.buf_capacity, SizeClass::Fixed)?;
-        workers.push(WorkerState {
-            ctx,
-            lo,
-            hi,
-            local,
-            seeds: Vec::new(),
-        });
-    }
+    let part = Partition::build(g, cfg.num_gpus, cfg.partition);
+    let mut workers = build_workers(&part, cfg, opts)?;
+    let mut total_ms = max_f64(workers.iter().map(|w| w.ctx.elapsed_ms()));
+    drop(partition_span);
 
-    // Degrees: authoritative per owner; ghost degrees replicated read-only.
-    // Host-orchestrated state (the master's view).
-    let mut deg: Vec<u32> = g.degrees();
-    let mut core: Vec<u32> = vec![0; n];
-    let mut removed: Vec<bool> = vec![false; n];
-
-    let mut total_ms = 0.0f64;
     let mut exchanged_bytes = 0u64;
     let mut sub_rounds = 0u32;
-    let mut remaining = n;
-    let mut k = 0u32;
     let mut rounds = 0u32;
-
-    // Ghost decrement accumulator, hoisted across sub-rounds (arena-style:
-    // a fresh `vec![0; n]` per sub-round dominated the host loop's
-    // allocation churn on cascade-heavy graphs). `ghost_touched` records the
-    // nonzero entries so each exchange resets in O(touched), not O(n).
-    let mut ghost_cnt: Vec<u32> = vec![0; n];
-    let mut ghost_touched: Vec<u32> = Vec::new();
+    let mut k = 0u32;
+    let mut removed = 0u64;
+    // Update scratch, reused across exchanges.
     let mut updates: Vec<(u32, u32)> = Vec::new();
 
-    drop(partition_span);
-    let _rounds_span = prof.map(|hp| hp.span("multi_gpu/rounds"));
-    while remaining > 0 {
+    let rounds_span = prof.map(|hp| hp.span("multi_gpu/rounds"));
+    while removed < n as u64 {
         rounds += 1;
-        // Seed each worker with its own degree-k vertices (the scan phase).
-        for w in workers.iter_mut() {
-            w.seeds.clear();
-            for v in w.lo..w.hi {
-                if !removed[v as usize] && deg[v as usize] == k {
-                    w.seeds.push(v);
-                }
-            }
-        }
-        // Charge each worker a scan kernel over its range (the scan cost of
-        // Algorithm 2, per worker, concurrent => max).
-        let mut scan_ms = 0.0f64;
-        for w in workers.iter_mut() {
-            let before = w.ctx.elapsed_ms();
-            let range = (w.hi - w.lo) as u64;
-            w.ctx.set_phase("Scan");
-            w.ctx.launch("mgpu_scan", cfg.peel.launch, |blk| {
-                let share = range / blk.cfg.blocks as u64 + 1;
-                blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(share));
-                blk.charge_instr(share.div_ceil(32));
-                Ok(())
-            })?;
-            scan_ms = scan_ms.max(w.ctx.elapsed_ms() - before);
-        }
-        total_ms += scan_ms;
+        // Sub-round 0: every worker scans its shard for the k-shell and
+        // drains the resulting cascade — the real kernels, concurrently.
+        sub_rounds += 1;
+        total_ms += run_workers(&mut workers, |w| {
+            peel::run_scan_loop(&mut w.ctx, k, &w.st, &cfg.peel)?;
+            sync_worker(w)
+        })?;
 
-        // Sub-rounds: local loop phases + border exchange.
+        // Border sub-rounds: exchange ghost decrements, seed owners, run
+        // loop-only launches, until an exchange produces no seeds.
         loop {
-            sub_rounds += 1;
-            let mut any_seeds = false;
-            let mut loop_ms = 0.0f64;
-
-            for w in workers.iter_mut() {
-                if w.seeds.is_empty() {
-                    continue;
-                }
-                any_seeds = true;
-                let before = w.ctx.elapsed_ms();
-                // Local BFS loop (host-orchestrated mirror of Algorithm 3,
-                // charged as a loop kernel on the worker's device).
-                let mut queue = std::mem::take(&mut w.seeds);
-                let mut qi = 0usize;
-                let mut arcs_walked = 0u64;
-                while qi < queue.len() {
-                    let v = queue[qi];
-                    qi += 1;
-                    removed[v as usize] = true;
-                    core[v as usize] = k;
-                    arcs_walked += w.local.degree(v) as u64;
-                    for &u in w.local.neighbors(v) {
-                        if u >= w.lo && u < w.hi {
-                            // local neighbor: standard decrement
-                            if !removed[u as usize] && deg[u as usize] > k {
-                                deg[u as usize] -= 1;
-                                if deg[u as usize] == k {
-                                    queue.push(u);
-                                }
-                            }
-                        } else {
-                            // ghost: defer to the owner via the master
-                            if ghost_cnt[u as usize] == 0 {
-                                ghost_touched.push(u);
-                            }
-                            ghost_cnt[u as usize] += 1;
-                        }
-                    }
-                }
-                remaining -= queue.len();
-                // Charge the worker's loop kernel: frontier reads + arc walk.
-                let q = queue.len() as u64;
-                w.ctx.set_phase("Loop");
-                w.ctx.launch("mgpu_loop", cfg.peel.launch, |blk| {
-                    let blocks = blk.cfg.blocks as u64;
-                    blk.charge_sector(q / blocks + 1); // frontier fetches
-                    blk.counters.dependent_reads += q / blocks + 1;
-                    blk.charge_tx(kcore_gpusim::BlockCtx::coalesced_tx(
-                        arcs_walked / blocks + 1,
-                    ));
-                    blk.charge_sector(arcs_walked / blocks + 1); // deg probes
-                    blk.counters.global_atomics += arcs_walked / blocks + 1;
-                    Ok(())
-                })?;
-                // Observability: this worker's sub-round frontier on its own
-                // device's "frontier" track (free — charges nothing).
-                w.ctx.sample_counter("frontier", q as f64);
-                loop_ms = loop_ms.max(w.ctx.elapsed_ms() - before);
-            }
-            total_ms += loop_ms;
+            let (any_seeds, exchange_ms) = exchange(
+                &mut workers,
+                &part,
+                k,
+                cfg,
+                &mut updates,
+                &mut exchanged_bytes,
+            )?;
+            total_ms += exchange_ms;
             if !any_seeds {
                 break;
             }
+            sub_rounds += 1;
+            total_ms += run_workers(&mut workers, |w| {
+                if w.seeds.is_empty() {
+                    return Ok(0.0);
+                }
+                let seeds = std::mem::take(&mut w.seeds);
+                seed_frontier(&mut w.ctx, &w.st, &cfg.peel, &seeds)?;
+                peel::run_loop_only(&mut w.ctx, k, &w.st, &cfg.peel)?;
+                sync_worker(w)
+            })?;
+        }
 
-            // ---- border exchange through the master -----------------------
-            // Drain the accumulator into `updates` (sorted, matching the
-            // former full-array sweep) and re-zero only the touched slots.
-            ghost_touched.sort_unstable();
-            updates.clear();
-            for &v in &ghost_touched {
-                updates.push((v, ghost_cnt[v as usize]));
-                ghost_cnt[v as usize] = 0;
+        removed = workers.iter().map(|w| w.count).sum();
+        k += 1;
+        if k as usize > n + 1 {
+            return Err(SimError::Kernel(KernelError::Other(format!(
+                "sharded peeling did not converge: k={k} exceeds |V|={n} (removed={removed})"
+            ))));
+        }
+    }
+    drop(rounds_span);
+
+    // ---- gather results ---------------------------------------------------
+    // Owned deg ranges have converged to the core numbers, exactly as in
+    // the single-device run; ghost slots still hold the sentinel.
+    let mut core = vec![0u32; n];
+    let mut result_ms = 0.0f64;
+    for (wi, w) in workers.iter_mut().enumerate() {
+        let before = w.ctx.elapsed_ms();
+        w.ctx.set_phase("Result");
+        let owned_core = w.ctx.dtoh_range(w.st.d_deg, 0, w.n_owned);
+        for (l, &v) in part.shards[wi].owned.iter().enumerate() {
+            core[v as usize] = owned_core[l];
+        }
+        peel::free_device(&mut w.ctx, &w.st);
+        if let Some(x) = w.d_xfer {
+            w.ctx.device.free(x);
+        }
+        result_ms = result_ms.max(w.ctx.elapsed_ms() - before);
+    }
+    total_ms += result_ms;
+
+    let traces: Vec<Trace> = workers
+        .iter_mut()
+        .enumerate()
+        .map(|(wi, w)| w.ctx.trace(format!("worker{wi}")))
+        .collect();
+    let per_device_peak_bytes: Vec<u64> =
+        workers.iter().map(|w| w.ctx.device.peak_bytes()).collect();
+    let k_max = core.iter().copied().max().unwrap_or(0);
+    Ok((
+        MultiGpuRun {
+            core,
+            k_max,
+            rounds,
+            sub_rounds,
+            exec_path: cfg.peel.exec_path,
+            total_ms,
+            total_peak_mem_bytes: per_device_peak_bytes.iter().sum(),
+            worker_fingerprints: traces.iter().map(|t| t.counters_fingerprint()).collect(),
+            per_device_peak_bytes,
+            exchanged_bytes,
+        },
+        traces,
+    ))
+}
+
+/// Loads every shard onto its own device: the local-ID CSR through
+/// [`peel::load_device`] (ghost `deg` slots pinned at [`GHOST_BASE`]) plus
+/// the exchange staging buffer. Allocation names and order per worker match
+/// the single-device run — memstats on a worker context shows only
+/// shard-local sizes.
+fn build_workers(
+    part: &Partition,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+) -> Result<Vec<Worker>, SimError> {
+    let mut workers = Vec::with_capacity(part.num_shards());
+    for shard in &part.shards {
+        let mut ctx = opts.context();
+        let offsets32: Vec<u32> = shard.csr.offsets().iter().map(|&o| o as u32).collect();
+        let mut deg = shard.csr.degrees();
+        for d in deg[shard.num_owned()..].iter_mut() {
+            *d = GHOST_BASE;
+        }
+        let st = peel::load_device(
+            &mut ctx,
+            &offsets32,
+            shard.csr.neighbor_array(),
+            &deg,
+            &cfg.peel,
+        )?;
+        // Staging room for one exchange's worth of (vertex, delta) packets:
+        // at most one per ghost. Batch-class: packet volume is a border
+        // property, not a |V|/|E|-linear one.
+        let d_xfer = if shard.ghosts.is_empty() {
+            None
+        } else {
+            Some(ctx.alloc_tagged("mgpu.xfer", 2 * shard.ghosts.len(), SizeClass::Batch)?)
+        };
+        workers.push(Worker {
+            ctx,
+            st,
+            n_owned: shard.num_owned(),
+            d_xfer,
+            count: 0,
+            seeds: Vec::new(),
+        });
+    }
+    Ok(workers)
+}
+
+/// Runs `f` on every worker concurrently (order-preserving rayon map) and
+/// returns the max simulated-time delta — the wall time of a phase where
+/// all devices run in parallel. Each worker only ever touches its own
+/// context, so the result is bit-identical at any pool size.
+fn run_workers(
+    workers: &mut [Worker],
+    f: impl Fn(&mut Worker) -> Result<f64, SimError> + Sync,
+) -> Result<f64, SimError> {
+    workers
+        .par_iter_mut()
+        .enumerate()
+        .map(|(_, w)| f(w))
+        .reduce(
+            || Ok(0.0),
+            |a, b| match (a, b) {
+                (Err(e), _) | (_, Err(e)) => Err(e),
+                (Ok(x), Ok(y)) => Ok(x.max(y)),
+            },
+        )
+}
+
+/// The synchronizing `gpu_count` readback (Algorithm 1 line 8) on one
+/// worker, plus the frontier observability sample. Returns the worker's
+/// simulated-time delta for this sub-round.
+fn sync_worker(w: &mut Worker) -> Result<f64, SimError> {
+    let before_sync = w.count;
+    w.ctx.set_phase("Sync");
+    w.count = w.ctx.dtoh_word(w.st.d_count, 0) as u64;
+    w.ctx
+        .sample_counter("frontier", (w.count - before_sync) as f64);
+    Ok(w.ctx.elapsed_ms())
+}
+
+/// One border exchange: drain every worker's ghost accumulator slots, ship
+/// the packets worker → master → owner, apply them with the floor-at-`k`
+/// rule, and seed owners whose vertices crossed into the k-shell. Returns
+/// `(any seeds produced, simulated exchange wall time)`.
+fn exchange(
+    workers: &mut [Worker],
+    part: &Partition,
+    k: u32,
+    cfg: &MultiGpuConfig,
+    updates: &mut Vec<(u32, u32)>,
+    exchanged_bytes: &mut u64,
+) -> Result<(bool, f64), SimError> {
+    let mut ms = 0.0f64;
+    // ---- drain + pack, shard index order ---------------------------------
+    updates.clear();
+    let mut packets_out = 0u64;
+    for (wi, w) in workers.iter_mut().enumerate() {
+        let shard = &part.shards[wi];
+        if shard.ghosts.is_empty() {
+            continue;
+        }
+        let before = w.ctx.elapsed_ms();
+        let mut touched = 0u64;
+        {
+            // Host peek of the device ghost slots (free, like any host
+            // inspection of simulator memory): delta = GHOST_BASE − slot,
+            // then the slot resets to the sentinel for the next sub-round.
+            let deg = w.ctx.device.buffer(w.st.d_deg);
+            for (gi, &gv) in shard.ghosts.iter().enumerate() {
+                let slot = &deg[w.n_owned + gi];
+                let val = slot.load(Ordering::Relaxed);
+                if val != GHOST_BASE {
+                    updates.push((gv, GHOST_BASE - val));
+                    slot.store(GHOST_BASE, Ordering::Relaxed);
+                    touched += 1;
+                }
             }
-            ghost_touched.clear();
-            if !updates.is_empty() {
-                // each update is (vertex, count): 8 bytes, shipped worker →
-                // master → owner (two hops, as the paper sketches).
-                let bytes = updates.len() as u64 * 8 * 2;
-                exchanged_bytes += bytes;
-                total_ms += (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
-                for &(v, cnt) in &updates {
-                    if removed[v as usize] {
-                        continue;
-                    }
-                    // apply with a floor at k (Fig. 6 Case-1 recovery)
-                    let dv = &mut deg[v as usize];
-                    let applicable = (*dv).saturating_sub(k).min(cnt);
-                    *dv -= applicable;
-                    // seed only on the crossing itself (applicable > 0), so
-                    // a vertex already waiting in a seed list is not
-                    // re-seeded by a later exchange
-                    if applicable > 0 && *dv == k {
-                        // new border k-shell vertex: seed its owner
-                        let owner = workers
-                            .iter_mut()
-                            .find(|w| v >= w.lo && v < w.hi)
-                            .expect("vertex has an owner");
-                        owner.seeds.push(v);
+        }
+        if touched > 0 {
+            packets_out += touched;
+            // Pack kernel: gather the touched (vertex, delta) pairs into
+            // the xfer staging buffer — sparse slot reads, coalesced
+            // packet writes.
+            w.ctx.set_phase("Exchange");
+            w.ctx.launch("mgpu_pack", cfg.peel.launch, move |blk| {
+                let share = touched / blk.cfg.blocks as u64 + 1;
+                blk.charge_sector(share);
+                blk.charge_tx(BlockCtx::coalesced_tx(2 * share));
+                Ok(())
+            })?;
+            ms = ms.max(w.ctx.elapsed_ms() - before);
+        }
+    }
+    if updates.is_empty() {
+        return Ok((false, ms));
+    }
+
+    // ---- master aggregation, ascending global ID -------------------------
+    updates.sort_unstable();
+    let mut aggregated: Vec<(u32, u32)> = Vec::with_capacity(updates.len());
+    for &(v, d) in updates.iter() {
+        match aggregated.last_mut() {
+            Some((lv, ld)) if *lv == v => *ld += d,
+            _ => aggregated.push((v, d)),
+        }
+    }
+    // Each packet is (vertex, delta): 8 bytes, shipped worker → master →
+    // owner (two hops, as the paper sketches); the master dedups, so the
+    // second hop carries the aggregated packets.
+    let bytes = (packets_out + aggregated.len() as u64) * 8;
+    *exchanged_bytes += bytes;
+    ms += (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
+
+    // ---- owner-side apply, shard index order -----------------------------
+    // O(1) owner lookup through the partition map (the old prototype did a
+    // linear scan over worker ranges per update).
+    let mut any_seeds = false;
+    let mut apply_ms = 0.0f64;
+    let mut start = 0usize;
+    while start < aggregated.len() {
+        let owner = part.owner_of(aggregated[start].0);
+        let mut end = start + 1;
+        while end < aggregated.len() && part.owner_of(aggregated[end].0) == owner {
+            end += 1;
+        }
+        let bucket = &aggregated[start..end];
+        let w = &mut workers[owner];
+        let before = w.ctx.elapsed_ms();
+        // Apply kernel: coalesced packet reads, random-access deg probes,
+        // one atomic per applied decrement.
+        let m = bucket.len() as u64;
+        w.ctx.set_phase("Exchange");
+        w.ctx.launch("mgpu_apply", cfg.peel.launch, move |blk| {
+            let share = m / blk.cfg.blocks as u64 + 1;
+            blk.charge_tx(BlockCtx::coalesced_tx(2 * share));
+            blk.charge_sector(share);
+            blk.counters.global_atomics += share;
+            Ok(())
+        })?;
+        {
+            let deg = w.ctx.device.buffer(w.st.d_deg);
+            for &(gv, cnt) in bucket {
+                let lv = part.local_id[gv as usize] as usize;
+                let cur = deg[lv].load(Ordering::Relaxed);
+                // Floor at k (Fig. 6 Case-1 recovery, host side): removed
+                // vertices sit at their core (≤ k) and are untouched.
+                let applicable = cur.saturating_sub(k).min(cnt);
+                if applicable > 0 {
+                    deg[lv].store(cur - applicable, Ordering::Relaxed);
+                    // Seed only on the crossing itself, so a vertex already
+                    // waiting in a seed list is not re-seeded later.
+                    if cur - applicable == k {
+                        w.seeds.push(lv as u32);
+                        any_seeds = true;
                     }
                 }
             }
-            // continue sub-rounds while seeds remain
-            if workers.iter().all(|w| w.seeds.is_empty()) {
-                break;
+        }
+        apply_ms = apply_ms.max(w.ctx.elapsed_ms() - before);
+        start = end;
+    }
+    Ok((any_seeds, ms + apply_ms))
+}
+
+/// Injects border seeds (local IDs) into the per-block frontier buffers for
+/// a loop-only launch: each block takes the seeds its scan would have
+/// found (`(v / blk_dim) mod blocks`), and **every** block rewrites its
+/// `buf_e` tail — a block with no seeds must clear the stale tail left by
+/// the previous launch, or the loop kernel would re-consume garbage.
+fn seed_frontier(
+    ctx: &mut GpuContext,
+    st: &peel::DeviceState,
+    cfg: &PeelConfig,
+    seeds: &[u32],
+) -> Result<(), SimError> {
+    ctx.set_phase("Seed");
+    let cap = st.cap;
+    let d_buf = st.d_buf;
+    let d_buf_e = st.d_buf_e;
+    ctx.launch("mgpu_seed", cfg.launch, |blk| {
+        let dev = blk.device;
+        let b = blk.block_idx as usize;
+        let blocks = blk.cfg.blocks as usize;
+        let blk_dim = blk.cfg.threads_per_block as usize;
+        let bufb = &dev.buffer(d_buf)[b * cap..(b + 1) * cap];
+        // Broadcast read of the seed list (coalesced).
+        blk.charge_tx(BlockCtx::coalesced_tx(seeds.len() as u64));
+        let mut e = 0usize;
+        for &v in seeds {
+            if (v as usize / blk_dim) % blocks == b {
+                if e >= cap {
+                    return Err(KernelError::BufferOverflow {
+                        what: format!("block {b}: seed injection filled buffer (capacity {cap})"),
+                    });
+                }
+                bufb[e].store(v, Ordering::Relaxed);
+                e += 1;
             }
         }
-        k += 1;
-        if k as usize > n + 1 {
-            return Err(SimError::Kernel(kcore_gpusim::KernelError::Other(
-                "multi-GPU peeling did not converge".into(),
-            )));
+        if e > 0 {
+            blk.charge_tx(BlockCtx::coalesced_tx(e as u64));
         }
-    }
+        blk.gwrite(&dev.buffer(d_buf_e)[b], e as u32);
+        Ok(())
+    })?;
+    Ok(())
+}
 
-    let k_max = core.iter().copied().max().unwrap_or(0);
-    // The resident set is allocated through the ledger at worker setup, so
-    // the device peak alone is the footprint.
-    let total_peak_mem_bytes = workers.iter().map(|w| w.ctx.device.peak_bytes()).sum();
-    Ok(MultiGpuRun {
-        core,
-        k_max,
-        rounds,
-        sub_rounds,
-        total_ms,
-        total_peak_mem_bytes,
-        exchanged_bytes,
-    })
+fn max_f64(it: impl Iterator<Item = f64>) -> f64 {
+    it.fold(0.0f64, f64::max)
+}
+
+/// Per-shard memory snapshots of the setup state (graph arrays + scratch +
+/// exchange staging), without running the decomposition — the fit-table
+/// path of the `table_scale` bench. Each device's [`kcore_gpusim::MemStats`]
+/// carries its shard-local workload dims for per-shard extrapolation.
+pub fn shard_memstats(
+    g: &Csr,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+) -> Result<FleetMemStats, SimError> {
+    let part = Partition::build(g, cfg.num_gpus, cfg.partition);
+    let workers = build_workers(&part, cfg, opts)?;
+    Ok(FleetMemStats::new(
+        workers.iter().map(|w| w.ctx.memstats()).collect(),
+    ))
 }
 
 /// Convenience: single-device reference via [`peel::decompose`] for
@@ -414,6 +620,7 @@ mod tests {
         let g = gen::erdos_renyi_gnm(300, 900, 1);
         let run = decompose_multi(&g, &cfg(1), &SimOptions::default()).unwrap();
         assert_eq!(run.exchanged_bytes, 0);
+        assert_eq!(run.sub_rounds, run.rounds);
     }
 
     #[test]
@@ -421,11 +628,112 @@ mod tests {
         let g = gen::complete(3);
         let run = decompose_multi(&g, &cfg(16), &SimOptions::default()).unwrap();
         assert_eq!(run.core, vec![2, 2, 2]);
+        // shard count clamps to |V|
+        assert_eq!(run.per_device_peak_bytes.len(), 3);
     }
 
     #[test]
     fn empty_graph() {
         let run = decompose_multi(&Csr::empty(0), &cfg(2), &SimOptions::default()).unwrap();
         assert!(run.core.is_empty());
+        assert!(run.worker_fingerprints.is_empty());
+    }
+
+    #[test]
+    fn degree_aware_partition_with_non_uniform_shards() {
+        // Satellite regression: hub-splitting produces non-uniform,
+        // non-contiguous shards; border seeds must still land on the right
+        // owner through the O(1) partition map.
+        let g = gen::power_law_hubs(1_500, 3_000, 5, 0.3, 17);
+        let part = Partition::build(&g, 3, PartitionStrategy::DegreeAware);
+        let sizes: Vec<usize> = part.shards.iter().map(|s| s.num_owned()).collect();
+        assert!(sizes.windows(2).any(|w| w[0] != w[1]), "sizes {sizes:?}");
+        let c = MultiGpuConfig {
+            partition: PartitionStrategy::DegreeAware,
+            num_gpus: 3,
+            ..cfg(3)
+        };
+        let run = decompose_multi(&g, &c, &SimOptions::default()).unwrap();
+        assert_eq!(run.core, kcore_cpu::bz::Bz.run(&g));
+    }
+
+    #[test]
+    fn worker_residency_is_shard_local() {
+        // Tentpole memory contract: each worker's ledger holds only
+        // shard-local allocations — no full-|V| arrays on any device.
+        let g = gen::erdos_renyi_gnm(1_200, 6_000, 9);
+        let (run, traces) = decompose_multi_traced(&g, &cfg(4), &SimOptions::default()).unwrap();
+        assert_eq!(run.core, kcore_cpu::bz::Bz.run(&g));
+        let part = Partition::build(&g, 4, PartitionStrategy::BalancedArcs);
+        assert_eq!(traces.len(), 4);
+        for (t, shard) in traces.iter().zip(&part.shards) {
+            let deg = t
+                .memstats
+                .allocations
+                .iter()
+                .find(|a| a.name == "deg")
+                .expect("worker has a deg allocation");
+            assert_eq!(
+                deg.elems as usize,
+                shard.num_local(),
+                "deg must be shard-sized"
+            );
+            assert!(shard.num_local() < g.num_vertices() as usize);
+            let nbrs = t
+                .memstats
+                .allocations
+                .iter()
+                .find(|a| a.name == "neighbors")
+                .unwrap();
+            assert_eq!(nbrs.elems, shard.owned_arcs);
+        }
+        // per-device peaks sum to the reported fleet total
+        assert_eq!(
+            run.per_device_peak_bytes.iter().sum::<u64>(),
+            run.total_peak_mem_bytes
+        );
+    }
+
+    #[test]
+    fn exec_paths_agree_on_sharded_run() {
+        let g = gen::web_crawl(1_000, 8, 0.5, 2_000, 3);
+        let base = cfg(2);
+        let runs: Vec<MultiGpuRun> = [ExecPath::Fused, ExecPath::Fast, ExecPath::Reference]
+            .iter()
+            .map(|&ep| {
+                let c = MultiGpuConfig {
+                    peel: base.peel.with_exec_path(ep),
+                    ..base
+                };
+                decompose_multi(&g, &c, &SimOptions::default()).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].core, runs[1].core);
+        assert_eq!(runs[1].core, runs[2].core);
+        assert_eq!(runs[0].exchanged_bytes, runs[1].exchanged_bytes);
+        assert_eq!(runs[0].sub_rounds, runs[1].sub_rounds);
+        // Fused ≡ Fast to the bit (the fused engine's record contract);
+        // Reference differs only in kernel-internal counter attribution.
+        assert_eq!(runs[0].worker_fingerprints, runs[1].worker_fingerprints);
+        assert_eq!(runs[0].total_ms.to_bits(), runs[1].total_ms.to_bits());
+    }
+
+    #[test]
+    fn pool_sizes_are_bit_identical() {
+        let g = gen::path(400);
+        let base = decompose_multi(&g, &cfg(4), &SimOptions::default()).unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let run =
+                pool.install(|| decompose_multi(&g, &cfg(4), &SimOptions::default()).unwrap());
+            assert_eq!(run.core, base.core, "pool {threads}");
+            assert_eq!(run.worker_fingerprints, base.worker_fingerprints);
+            assert_eq!(run.exchanged_bytes, base.exchanged_bytes);
+            assert_eq!(run.sub_rounds, base.sub_rounds);
+            assert_eq!(run.total_ms.to_bits(), base.total_ms.to_bits());
+        }
     }
 }

@@ -52,6 +52,181 @@ struct KParams<'a> {
     cfg: &'a PeelConfig,
 }
 
+/// The peel working set resident on one device: the graph arrays, the
+/// per-block frontier buffers, and the `gpu_count` termination counter.
+///
+/// [`decompose_in`] owns one for the whole graph; the sharded engine
+/// (`multi_gpu`) owns one per worker device holding that shard's local-ID
+/// CSR. The launch helpers below ([`run_scan_loop`], [`run_loop_only`])
+/// drive the same kernels either way.
+pub(crate) struct DeviceState {
+    pub(crate) n: usize,
+    pub(crate) cap: usize,
+    pub(crate) d_offsets: BufferId,
+    pub(crate) d_neighbors: BufferId,
+    pub(crate) d_deg: BufferId,
+    pub(crate) d_buf: BufferId,
+    pub(crate) d_buf_e: BufferId,
+    pub(crate) d_count: BufferId,
+}
+
+impl DeviceState {
+    fn kparams<'a>(&self, cfg: &'a PeelConfig) -> KParams<'a> {
+        KParams {
+            n: self.n,
+            cap: self.cap,
+            d_offsets: self.d_offsets,
+            d_neighbors: self.d_neighbors,
+            d_deg: self.d_deg,
+            d_buf: self.d_buf,
+            d_buf_e: self.d_buf_e,
+            d_count: self.d_count,
+            cfg,
+        }
+    }
+}
+
+/// Algorithm 1, lines 1–4: loads a CSR (already in 32-bit host arrays) plus
+/// the working buffers onto `ctx`'s device. Allocation names, order and size
+/// classes are part of the golden-trace contract — do not reorder.
+pub(crate) fn load_device(
+    ctx: &mut GpuContext,
+    offsets32: &[u32],
+    neighbors: &[u32],
+    degrees: &[u32],
+    cfg: &PeelConfig,
+) -> Result<DeviceState, SimError> {
+    let n = offsets32.len() - 1;
+    assert!(
+        neighbors.len() < u32::MAX as usize,
+        "graph exceeds 32-bit arc indexing"
+    );
+    // Algorithm 1, line 1: load G (offset / neighbors / deg) to the device.
+    ctx.set_phase("Setup");
+    ctx.set_workload_dims(n as u64, neighbors.len() as u64);
+    let d_offsets = ctx.htod_tagged("offset", offsets32, SizeClass::PerVertex)?;
+    let d_neighbors = ctx.htod_tagged("neighbors", neighbors, SizeClass::PerArc)?;
+    let d_deg = ctx.htod_tagged("deg", degrees, SizeClass::PerVertex)?;
+    // Line 4: per-block buffers + the persisted buffer tails + gpu_count.
+    // All three are sized by the launch configuration, not the graph, so
+    // they extrapolate as `Fixed` (the forecast carries the configured
+    // scratch capacity through unscaled).
+    let blocks = cfg.launch.blocks as usize;
+    let d_buf = ctx.alloc_tagged("buf", blocks * cfg.buf_capacity, SizeClass::Fixed)?;
+    let d_buf_e = ctx.alloc_tagged("buf_e", blocks, SizeClass::Fixed)?;
+    let d_count = ctx.alloc_tagged("gpu_count", 1, SizeClass::Fixed)?;
+    Ok(DeviceState {
+        n,
+        cap: cfg.buf_capacity,
+        d_offsets,
+        d_neighbors,
+        d_deg,
+        d_buf,
+        d_buf_e,
+        d_count,
+    })
+}
+
+/// One peel round's device work — the scan launch feeding the stepped loop
+/// launch, on whichever [`ExecPath`] `cfg` selects. Bit-identical traces on
+/// all three paths (the fused path emits the same two launch records).
+pub(crate) fn run_scan_loop(
+    ctx: &mut GpuContext,
+    k: u32,
+    st: &DeviceState,
+    cfg: &PeelConfig,
+) -> Result<(), SimError> {
+    let p = st.kparams(cfg);
+    // The loop kernel's blocks interact through `deg[]` while running
+    // (cascading k-shell discovery), so it uses the lockstep stepped
+    // launch: every wave advances each live block by one barrier-delimited
+    // iteration, matching concurrent hardware blocks. The fast path splits
+    // each iteration into a parallel plan and a wave-ordered commit; the
+    // fused path additionally runs the scan step and the stepped loop
+    // inside one engine entry — bit-identical traces all three ways.
+    ctx.set_phase("Scan");
+    match cfg.exec_path {
+        ExecPath::Fused => ctx.launch_fused(
+            "scan",
+            cfg.launch,
+            |blk| scan_kernel_fast(blk, k, &p),
+            "Loop",
+            "loop",
+            |blk| loop_init(blk, &p),
+            |blk, st| loop_plan(blk, st, &p),
+            |blk, st, plan| loop_commit(blk, st, plan, k, &p),
+        )?,
+        ExecPath::Fast => {
+            ctx.launch("scan", cfg.launch, |blk| scan_kernel_fast(blk, k, &p))?;
+            ctx.set_phase("Loop");
+            ctx.launch_stepped_phased(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_plan(blk, st, &p),
+                |blk, st, plan| loop_commit(blk, st, plan, k, &p),
+            )?;
+        }
+        ExecPath::Reference => {
+            ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?;
+            ctx.set_phase("Loop");
+            ctx.launch_stepped(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_step(blk, st, k, &p),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// A loop-only launch: consumes whatever frontier `buf`/`buf_e` already
+/// hold, without a fresh scan. The sharded engine uses this for border-seed
+/// sub-rounds — re-scanning would re-process the whole shard. With no scan
+/// to fuse against, the fused path degenerates to the fast stepped-phased
+/// launch (identical records by the fused two-record contract).
+pub(crate) fn run_loop_only(
+    ctx: &mut GpuContext,
+    k: u32,
+    st: &DeviceState,
+    cfg: &PeelConfig,
+) -> Result<(), SimError> {
+    let p = st.kparams(cfg);
+    ctx.set_phase("Loop");
+    match cfg.exec_path {
+        ExecPath::Fused | ExecPath::Fast => {
+            ctx.launch_stepped_phased(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_plan(blk, st, &p),
+                |blk, st, plan| loop_commit(blk, st, plan, k, &p),
+            )?;
+        }
+        ExecPath::Reference => {
+            ctx.launch_stepped(
+                "loop",
+                cfg.launch,
+                |blk| loop_init(blk, &p),
+                |blk, st| loop_step(blk, st, k, &p),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Frees the working set (device hygiene; peak accounting is unaffected).
+/// Free order is part of the golden-trace contract.
+pub(crate) fn free_device(ctx: &mut GpuContext, st: &DeviceState) {
+    ctx.device.free(st.d_buf);
+    ctx.device.free(st.d_buf_e);
+    ctx.device.free(st.d_count);
+    ctx.device.free(st.d_deg);
+    ctx.device.free(st.d_neighbors);
+    ctx.device.free(st.d_offsets);
+}
+
 /// Runs the full k-core decomposition of `g` under `cfg` on a fresh
 /// simulated device described by `opts`.
 pub fn decompose(g: &Csr, cfg: &PeelConfig, opts: &SimOptions) -> Result<GpuRun, SimError> {
@@ -78,42 +253,13 @@ pub fn decompose_in(
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
-    assert!(
-        g.num_arcs() < u32::MAX as u64,
-        "graph exceeds 32-bit arc indexing"
-    );
 
     // Host-profiling spans (observe-only; None when profiling is off).
     let _run_span = ctx.host_span("peel");
     let setup_span = ctx.host_span("peel/setup");
 
-    // Algorithm 1, line 1: load G (offset / neighbors / deg) to the device.
-    ctx.set_phase("Setup");
-    ctx.set_workload_dims(n as u64, g.num_arcs());
     let offsets32: Vec<u32> = g.offsets().iter().map(|&o| o as u32).collect();
-    let d_offsets = ctx.htod_tagged("offset", &offsets32, SizeClass::PerVertex)?;
-    let d_neighbors = ctx.htod_tagged("neighbors", g.neighbor_array(), SizeClass::PerArc)?;
-    let d_deg = ctx.htod_tagged("deg", &g.degrees(), SizeClass::PerVertex)?;
-    // Line 4: per-block buffers + the persisted buffer tails + gpu_count.
-    // All three are sized by the launch configuration, not the graph, so
-    // they extrapolate as `Fixed` (the forecast carries the configured
-    // scratch capacity through unscaled).
-    let blocks = cfg.launch.blocks as usize;
-    let d_buf = ctx.alloc_tagged("buf", blocks * cfg.buf_capacity, SizeClass::Fixed)?;
-    let d_buf_e = ctx.alloc_tagged("buf_e", blocks, SizeClass::Fixed)?;
-    let d_count = ctx.alloc_tagged("gpu_count", 1, SizeClass::Fixed)?;
-
-    let p = KParams {
-        n,
-        cap: cfg.buf_capacity,
-        d_offsets,
-        d_neighbors,
-        d_deg,
-        d_buf,
-        d_buf_e,
-        d_count,
-        cfg,
-    };
+    let st = load_device(ctx, &offsets32, g.neighbor_array(), &g.degrees(), cfg)?;
 
     drop(setup_span);
     let rounds_span = ctx.host_span("peel/rounds");
@@ -121,52 +267,11 @@ pub fn decompose_in(
     let mut k = 0u32;
     let mut rounds = 0u32;
     while (count as usize) < n {
-        // The loop kernel's blocks interact through `deg[]` while running
-        // (cascading k-shell discovery), so it uses the lockstep stepped
-        // launch: every wave advances each live block by one
-        // barrier-delimited iteration, matching concurrent hardware blocks.
-        // The fast path splits each iteration into a parallel plan and a
-        // wave-ordered commit; the fused path additionally runs the scan
-        // step and the stepped loop inside one engine entry — bit-identical
-        // traces all three ways.
-        ctx.set_phase("Scan");
-        match cfg.exec_path {
-            ExecPath::Fused => ctx.launch_fused(
-                "scan",
-                cfg.launch,
-                |blk| scan_kernel_fast(blk, k, &p),
-                "Loop",
-                "loop",
-                |blk| loop_init(blk, &p),
-                |blk, st| loop_plan(blk, st, &p),
-                |blk, st, plan| loop_commit(blk, st, plan, k, &p),
-            )?,
-            ExecPath::Fast => {
-                ctx.launch("scan", cfg.launch, |blk| scan_kernel_fast(blk, k, &p))?;
-                ctx.set_phase("Loop");
-                ctx.launch_stepped_phased(
-                    "loop",
-                    cfg.launch,
-                    |blk| loop_init(blk, &p),
-                    |blk, st| loop_plan(blk, st, &p),
-                    |blk, st, plan| loop_commit(blk, st, plan, k, &p),
-                )?;
-            }
-            ExecPath::Reference => {
-                ctx.launch("scan", cfg.launch, |blk| scan_kernel(blk, k, &p))?;
-                ctx.set_phase("Loop");
-                ctx.launch_stepped(
-                    "loop",
-                    cfg.launch,
-                    |blk| loop_init(blk, &p),
-                    |blk, st| loop_step(blk, st, k, &p),
-                )?;
-            }
-        }
+        run_scan_loop(ctx, k, &st, cfg)?;
         // Algorithm 1 line 8: the synchronizing gpu_count readback.
         ctx.set_phase("Sync");
         let prev = count;
-        count = ctx.dtoh_word(d_count, 0) as u64;
+        count = ctx.dtoh_word(st.d_count, 0) as u64;
         // Observability: this round's k-shell size on the "frontier" counter
         // track (free — sampling charges nothing).
         ctx.sample_counter("frontier", (count - prev) as f64);
@@ -182,15 +287,8 @@ pub fn decompose_in(
     let _result_span = ctx.host_span("peel/result");
     // Line 10: deg[] has converged to the core numbers.
     ctx.set_phase("Result");
-    let core = ctx.dtoh(d_deg);
-    // Free everything except the result we already copied (device hygiene;
-    // peak accounting is unaffected).
-    ctx.device.free(d_buf);
-    ctx.device.free(d_buf_e);
-    ctx.device.free(d_count);
-    ctx.device.free(d_deg);
-    ctx.device.free(d_neighbors);
-    ctx.device.free(d_offsets);
+    let core = ctx.dtoh(st.d_deg);
+    free_device(ctx, &st);
     Ok((core, rounds))
 }
 

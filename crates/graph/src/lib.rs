@@ -43,12 +43,14 @@ pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
+pub mod partition;
 pub mod recode;
 pub mod stats;
 pub mod update;
 
 pub use builder::{BuildPath, GraphBuilder};
 pub use csr::{Csr, VertexId};
+pub use partition::{Partition, PartitionStrategy, Shard};
 pub use stats::GraphStats;
 pub use update::EdgeUpdate;
 

@@ -1,0 +1,506 @@
+//! Edge-partitioned sharding of a CSR graph for multi-device decomposition.
+//!
+//! A [`Partition`] splits the vertex set across `p` shards and gives every
+//! shard a **compact local-ID CSR**: the shard's own vertices are recoded to
+//! local IDs `0..num_owned`, the border vertices it can reach on other
+//! shards (**ghosts**) occupy `num_owned..num_local`, and the shard's
+//! adjacency rows are rewritten in local IDs. Ghost rows are empty — a
+//! ghost's adjacency lives on its owner — so a shard's device footprint is
+//! `O(owned vertices + ghosts + owned arcs)`, not `O(|V|)` per worker.
+//!
+//! Two strategies:
+//!
+//! * [`PartitionStrategy::BalancedArcs`] — contiguous vertex ranges cut so
+//!   every shard holds ~`(|arcs| + |rows|) / p` of the per-round kernel
+//!   work (prefix sums over the global offset array; rows weigh the scan,
+//!   arcs weigh the loop). Contiguous ownership keeps border sets small on
+//!   graphs with locality (meshes, paths, web crawls after BFS renumber).
+//! * [`PartitionStrategy::DegreeAware`] — hubs (degree ≥ 8× average) are
+//!   dealt round-robin across shards in ascending ID order, then runs of
+//!   consecutive non-hub vertices go greedily to the least-arc-loaded shard
+//!   (ties broken by owned-vertex count, then lowest shard ID). This splits
+//!   hub-heavy skew that defeats contiguous ranges, at the price of
+//!   non-contiguous ownership.
+//!
+//! Both strategies are pure functions of `(graph, p)` — no RNG, no thread
+//! timing — so a partition is bit-identical across runs and rayon pool
+//! sizes, which the multi-GPU determinism contract builds on.
+//!
+//! The shard CSR intentionally relaxes two [`Csr`] invariants (it is built
+//! through the unchecked constructor): rows are **not symmetric** (ghost
+//! rows are empty while owned rows may point at ghosts) and neighbor lists
+//! are sorted by *global* ID, which is not monotone in local IDs once
+//! ghosts interleave. Both are documented properties of the shard contract,
+//! not bugs: the peel kernels never traverse a ghost row and never rely on
+//! sorted adjacency.
+
+use crate::csr::{Csr, VertexId};
+use rustc_hash::FxHashMap;
+
+/// How [`Partition::build`] assigns vertices to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous vertex ranges with ~equal `arcs + rows` work sums.
+    BalancedArcs,
+    /// Hub-splitting round-robin + greedy least-loaded runs.
+    DegreeAware,
+}
+
+impl PartitionStrategy {
+    /// Stable lowercase name (bench JSON, env knobs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionStrategy::BalancedArcs => "balanced",
+            PartitionStrategy::DegreeAware => "degree",
+        }
+    }
+}
+
+/// Hub threshold multiplier for [`PartitionStrategy::DegreeAware`]: a vertex
+/// is a hub when its degree is at least this many times the average.
+const HUB_FACTOR: u64 = 8;
+
+/// Upper bound on the run length of consecutive non-hub vertices assigned
+/// as one unit by the degree-aware strategy.
+const MAX_RUN: usize = 256;
+
+/// One shard of a [`Partition`]: local-ID compacted CSR plus the recode
+/// tables back to global IDs.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Global IDs of owned vertices, ascending; local ID = rank in this list.
+    pub owned: Vec<VertexId>,
+    /// Global IDs of ghost vertices, ascending; local ID = `num_owned() +
+    /// rank`. A ghost is a non-owned vertex adjacent to an owned one.
+    pub ghosts: Vec<VertexId>,
+    /// Local-ID CSR: rows `0..num_owned()` carry the owned vertices' full
+    /// adjacency (owned and ghost neighbors alike, recoded); ghost rows are
+    /// empty. See the module docs for the relaxed invariants.
+    pub csr: Csr,
+    /// Directed arcs whose source is owned here (= `csr.num_arcs()`).
+    pub owned_arcs: u64,
+}
+
+impl Shard {
+    /// Number of owned vertices.
+    #[inline]
+    pub fn num_owned(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Owned + ghost vertices — the shard's device-resident vertex count.
+    #[inline]
+    pub fn num_local(&self) -> usize {
+        self.owned.len() + self.ghosts.len()
+    }
+
+    /// Global ID of local vertex `l` (owned or ghost).
+    #[inline]
+    pub fn global_of(&self, l: usize) -> VertexId {
+        if l < self.owned.len() {
+            self.owned[l]
+        } else {
+            self.ghosts[l - self.owned.len()]
+        }
+    }
+}
+
+/// A complete sharding of one graph.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Strategy that produced this partition.
+    pub strategy: PartitionStrategy,
+    /// `owner[v]` = shard index owning global vertex `v` (O(1) lookup).
+    pub owner: Vec<u16>,
+    /// `local_id[v]` = local ID of `v` **within its owner shard**.
+    pub local_id: Vec<u32>,
+    /// The shards, in index order.
+    pub shards: Vec<Shard>,
+}
+
+impl Partition {
+    /// Builds a `p`-way partition of `g`. `p` is clamped to `[1, |V|]`
+    /// (each shard must own at least one vertex); an empty graph yields an
+    /// empty partition.
+    pub fn build(g: &Csr, p: usize, strategy: PartitionStrategy) -> Partition {
+        let n = g.num_vertices() as usize;
+        if n == 0 {
+            return Partition {
+                strategy,
+                owner: Vec::new(),
+                local_id: Vec::new(),
+                shards: Vec::new(),
+            };
+        }
+        let p = p.clamp(1, n);
+        assert!(p <= u16::MAX as usize, "shard count exceeds u16 owner map");
+
+        let owner = match strategy {
+            PartitionStrategy::BalancedArcs => balanced_arcs_owner(g, p),
+            PartitionStrategy::DegreeAware => degree_aware_owner(g, p),
+        };
+
+        // Owned lists in ascending global order; rank = local ID.
+        let mut owned: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+        let mut local_id = vec![0u32; n];
+        for v in 0..n {
+            let s = owner[v] as usize;
+            local_id[v] = owned[s].len() as u32;
+            owned[s].push(v as VertexId);
+        }
+
+        let shards = owned
+            .into_iter()
+            .map(|owned| build_shard(g, &owner, &local_id, owned))
+            .collect();
+        Partition {
+            strategy,
+            owner,
+            local_id,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index owning global vertex `v` — the O(1) lookup the border
+    /// exchange routes update packets through.
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        self.owner[v as usize] as usize
+    }
+}
+
+/// Builds one shard: ghost discovery + local-ID CSR recode.
+fn build_shard(g: &Csr, owner: &[u16], local_id: &[u32], owned: Vec<VertexId>) -> Shard {
+    let s = owned.first().map(|&v| owner[v as usize]).unwrap_or(0);
+    // Ghosts: every non-owned endpoint of an owned row, deduped, ascending.
+    let mut ghosts: Vec<VertexId> = Vec::new();
+    for &v in &owned {
+        for &u in g.neighbors(v) {
+            if owner[u as usize] != s {
+                ghosts.push(u);
+            }
+        }
+    }
+    ghosts.sort_unstable();
+    ghosts.dedup();
+    let num_owned = owned.len();
+    let ghost_local: FxHashMap<VertexId, u32> = ghosts
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (u, (num_owned + i) as u32))
+        .collect();
+
+    // Local CSR: owned rows recoded, ghost rows empty.
+    let num_local = num_owned + ghosts.len();
+    let mut offsets = Vec::with_capacity(num_local + 1);
+    let mut owned_arcs = 0u64;
+    offsets.push(0u64);
+    for &v in &owned {
+        owned_arcs += g.degree(v) as u64;
+        offsets.push(owned_arcs);
+    }
+    offsets.resize(num_local + 1, owned_arcs);
+    let mut neighbors = Vec::with_capacity(owned_arcs as usize);
+    for &v in &owned {
+        for &u in g.neighbors(v) {
+            neighbors.push(if owner[u as usize] == s {
+                local_id[u as usize]
+            } else {
+                ghost_local[&u]
+            });
+        }
+    }
+    Shard {
+        owned,
+        ghosts,
+        csr: Csr::from_parts_unchecked(offsets, neighbors),
+        owned_arcs,
+    }
+}
+
+/// Contiguous ranges cut at ~equal prefix sums of `arcs + rows`. The
+/// combined weight models a worker's per-round cost: the scan kernel walks
+/// every local row while the loop kernel's traffic follows arcs, so cutting
+/// on arcs alone leaves the low-degree tail shard with most of the rows and
+/// the fleet's scan time pinned at the single-device value. Every shard
+/// gets at least one vertex (requires `p <= n`, guaranteed by the caller).
+fn balanced_arcs_owner(g: &Csr, p: usize) -> Vec<u16> {
+    let n = g.num_vertices() as usize;
+    let offsets = g.offsets();
+    // weight(i) = arcs before vertex i + rows before vertex i, strictly
+    // increasing in i, so a binary search finds each cut.
+    let weight = |i: usize| offsets[i] + i as u64;
+    let total = weight(n);
+    let mut bounds = Vec::with_capacity(p + 1);
+    bounds.push(0usize);
+    for s in 1..p {
+        let target = total * s as u64 / p as u64;
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if weight(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Keep every shard non-empty: stay above the previous cut and leave
+        // one vertex for each remaining shard.
+        bounds.push(lo.clamp(bounds[s - 1] + 1, n - (p - s)));
+    }
+    bounds.push(n);
+    let mut owner = vec![0u16; n];
+    for s in 0..p {
+        for o in owner.iter_mut().take(bounds[s + 1]).skip(bounds[s]) {
+            *o = s as u16;
+        }
+    }
+    owner
+}
+
+/// Hub-splitting assignment: hubs round-robin in ascending ID order, then
+/// runs of consecutive non-hubs to the least-loaded shard (load = assigned
+/// arcs; ties → fewest owned vertices, then lowest shard index).
+fn degree_aware_owner(g: &Csr, p: usize) -> Vec<u16> {
+    let n = g.num_vertices() as usize;
+    let arcs = g.num_arcs();
+    let avg = arcs / n as u64;
+    let hub_thresh = (HUB_FACTOR * avg.max(1)).max(HUB_FACTOR);
+    // Short runs on small graphs so every shard is reachable; capped at
+    // MAX_RUN so huge graphs still amortize the per-run argmin.
+    let run_len = (n / (8 * p)).clamp(1, MAX_RUN);
+
+    let mut owner = vec![0u16; n];
+    let mut load = vec![0u64; p];
+    let mut count = vec![0usize; p];
+    let mut next_hub = 0usize;
+    let mut run: Vec<VertexId> = Vec::with_capacity(run_len);
+    let mut run_arcs = 0u64;
+    let flush = |run: &mut Vec<VertexId>,
+                 run_arcs: &mut u64,
+                 owner: &mut Vec<u16>,
+                 load: &mut Vec<u64>,
+                 count: &mut Vec<usize>| {
+        if run.is_empty() {
+            return;
+        }
+        let best = (0..p)
+            .min_by_key(|&s| (load[s], count[s], s))
+            .expect("p >= 1");
+        for &v in run.iter() {
+            owner[v as usize] = best as u16;
+        }
+        load[best] += *run_arcs;
+        count[best] += run.len();
+        run.clear();
+        *run_arcs = 0;
+    };
+    for v in 0..n as VertexId {
+        let d = g.degree(v) as u64;
+        if d >= hub_thresh {
+            owner[v as usize] = next_hub as u16;
+            load[next_hub] += d;
+            count[next_hub] += 1;
+            next_hub = (next_hub + 1) % p;
+        } else {
+            run.push(v);
+            run_arcs += d;
+            if run.len() >= run_len {
+                flush(&mut run, &mut run_arcs, &mut owner, &mut load, &mut count);
+            }
+        }
+    }
+    flush(&mut run, &mut run_arcs, &mut owner, &mut load, &mut count);
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    const STRATEGIES: [PartitionStrategy; 2] = [
+        PartitionStrategy::BalancedArcs,
+        PartitionStrategy::DegreeAware,
+    ];
+
+    /// Structural contract every partition must satisfy, regardless of
+    /// strategy: owner map ↔ shard membership, recode round-trips, ghost
+    /// tables exact, arc conservation, ghost rows empty.
+    fn verify(g: &Csr, part: &Partition) {
+        let n = g.num_vertices() as usize;
+        assert_eq!(part.owner.len(), n);
+        assert_eq!(part.local_id.len(), n);
+        let mut seen = vec![false; n];
+        let mut total_arcs = 0u64;
+        for (s, shard) in part.shards.iter().enumerate() {
+            assert!(!shard.owned.is_empty(), "shard {s} owns no vertices");
+            assert!(shard.owned.windows(2).all(|w| w[0] < w[1]));
+            assert!(shard.ghosts.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(shard.csr.num_vertices() as usize, shard.num_local());
+            assert_eq!(shard.csr.num_arcs(), shard.owned_arcs);
+            total_arcs += shard.owned_arcs;
+            for (l, &v) in shard.owned.iter().enumerate() {
+                assert!(!seen[v as usize], "vertex {v} owned twice");
+                seen[v as usize] = true;
+                assert_eq!(part.owner_of(v), s);
+                assert_eq!(part.local_id[v as usize] as usize, l);
+                // local row mirrors the global row through global_of
+                assert_eq!(shard.csr.degree(l as u32), g.degree(v));
+                let row: Vec<VertexId> = shard
+                    .csr
+                    .neighbors(l as u32)
+                    .iter()
+                    .map(|&lu| shard.global_of(lu as usize))
+                    .collect();
+                assert_eq!(row, g.neighbors(v));
+            }
+            for (i, &u) in shard.ghosts.iter().enumerate() {
+                assert_ne!(part.owner_of(u), s, "ghost {u} owned by its shard");
+                // ghost rows are empty
+                assert_eq!(shard.csr.degree((shard.num_owned() + i) as u32), 0);
+            }
+            // ghost set is exactly the non-owned endpoints of owned rows
+            let mut expect: Vec<VertexId> = shard
+                .owned
+                .iter()
+                .flat_map(|&v| g.neighbors(v).iter().copied())
+                .filter(|&u| part.owner_of(u) != s)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(shard.ghosts, expect);
+        }
+        assert!(seen.iter().all(|&b| b), "vertex owned by no shard");
+        assert_eq!(total_arcs, g.num_arcs(), "arcs not conserved");
+    }
+
+    #[test]
+    fn both_strategies_hold_the_contract() {
+        let graphs = [
+            gen::erdos_renyi_gnm(500, 2_000, 7),
+            gen::power_law_hubs(1_000, 3_000, 3, 0.2, 9),
+            gen::path(300),
+            gen::complete(25),
+            gen::star(200),
+        ];
+        for g in &graphs {
+            for strategy in STRATEGIES {
+                for p in [1, 2, 3, 4, 8] {
+                    verify(g, &Partition::build(g, p, strategy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_clamped_to_vertex_count_and_floor_one() {
+        let g = gen::complete(3);
+        for strategy in STRATEGIES {
+            let part = Partition::build(&g, 16, strategy);
+            assert_eq!(part.num_shards(), 3);
+            verify(&g, &part);
+            let part = Partition::build(&g, 0, strategy);
+            assert_eq!(part.num_shards(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_partition() {
+        let g = Csr::empty(0);
+        for strategy in STRATEGIES {
+            assert_eq!(Partition::build(&g, 4, strategy).num_shards(), 0);
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_identity_recode() {
+        let g = gen::erdos_renyi_gnm(200, 800, 3);
+        for strategy in STRATEGIES {
+            let part = Partition::build(&g, 1, strategy);
+            assert_eq!(part.num_shards(), 1);
+            let shard = &part.shards[0];
+            assert!(shard.ghosts.is_empty());
+            assert_eq!(shard.num_owned() as u32, g.num_vertices());
+            assert_eq!(shard.csr, g);
+        }
+    }
+
+    #[test]
+    fn balanced_arcs_balances_arcs() {
+        let g = gen::erdos_renyi_gnm(2_000, 10_000, 11);
+        let part = Partition::build(&g, 4, PartitionStrategy::BalancedArcs);
+        let per: Vec<u64> = part.shards.iter().map(|s| s.owned_arcs).collect();
+        let ideal = g.num_arcs() / 4;
+        for &a in &per {
+            // ER degrees are tightly concentrated; cuts land close to ideal
+            assert!(
+                a as f64 > ideal as f64 * 0.8 && (a as f64) < ideal as f64 * 1.2,
+                "arc loads {per:?} far from ideal {ideal}"
+            );
+        }
+        // contiguous ranges: owner is non-decreasing
+        assert!(part.owner.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn degree_aware_splits_hubs_across_shards() {
+        // 4 hubs dominating a background of low-degree vertices: the
+        // contiguous strategy can trap several hubs in one range; the
+        // degree-aware one must spread them round-robin.
+        let g = gen::power_law_hubs(2_000, 4_000, 4, 0.5, 13);
+        let part = Partition::build(&g, 4, PartitionStrategy::DegreeAware);
+        verify(&g, &part);
+        let mut hub_ids: Vec<VertexId> = (0..g.num_vertices()).collect();
+        hub_ids.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        let top4: Vec<usize> = hub_ids[..4].iter().map(|&v| part.owner_of(v)).collect();
+        let mut distinct = top4.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "top-4 hubs not spread: {top4:?}");
+        // arc load stays balanced within 2× of ideal despite the skew
+        let ideal = g.num_arcs() / 4;
+        for s in &part.shards {
+            assert!(s.owned_arcs < 2 * ideal.max(1), "skewed load");
+        }
+    }
+
+    #[test]
+    fn degree_aware_ownership_is_non_uniform_but_lookup_exact() {
+        // Satellite regression: with non-uniform shard sizes the O(1) owner
+        // map must still route every vertex to the shard that owns it (the
+        // old range scan assumed uniform contiguous ranges).
+        let g = gen::power_law_hubs(1_500, 3_000, 5, 0.3, 17);
+        let part = Partition::build(&g, 3, PartitionStrategy::DegreeAware);
+        let sizes: Vec<usize> = part.shards.iter().map(|s| s.num_owned()).collect();
+        assert!(
+            sizes.windows(2).any(|w| w[0] != w[1]),
+            "expected non-uniform shard sizes, got {sizes:?}"
+        );
+        for v in 0..g.num_vertices() {
+            let s = part.owner_of(v);
+            let l = part.local_id[v as usize] as usize;
+            assert_eq!(part.shards[s].owned[l], v);
+        }
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let g = gen::rmat(10, 5_000, gen::RmatParams::graph500(), 21);
+        for strategy in STRATEGIES {
+            let a = Partition::build(&g, 4, strategy);
+            let b = Partition::build(&g, 4, strategy);
+            assert_eq!(a.owner, b.owner);
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                assert_eq!(x.csr, y.csr);
+                assert_eq!(x.ghosts, y.ghosts);
+            }
+        }
+    }
+}

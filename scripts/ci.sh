@@ -76,6 +76,21 @@ fi
 rm -rf "$mem_results"
 echo "memreport smoke OK"
 
+echo "== sharded scaling smoke (partition contract + fit forecast) =="
+# --check sweeps 1/2/4/8 workers x both partitioners over the smoke
+# datasets, asserting sharded cores equal BZ, one device exchanges zero
+# bytes, max per-device peak shrinks as the pool grows, worker ledgers are
+# shard-local, and the uk-2005 @1x forecast fits on <= 8 x 16 GB devices.
+scale_results="$(mktemp -d)"
+KCORE_SMOKE=1 KCORE_CACHE_DIR="$cache_dir" \
+  KCORE_RESULTS_DIR="$scale_results" ./target/release/table_scale --check > /dev/null
+if [[ ! -s "$scale_results/table_scale.json" ]]; then
+  echo "ERROR: table_scale did not write table_scale.json" >&2
+  exit 1
+fi
+rm -rf "$scale_results"
+echo "table_scale smoke OK"
+
 echo "== dynamic maintenance smoke (batched engine vs oracle) =="
 # --check replays the CI-sized churn stream through the batched GPU
 # maintenance engine, verifies every run's final cores against a

@@ -24,6 +24,11 @@ for t in table1 table2 table3 table4 table5 table_dynamic fig10_case_study; do
   ./target/release/$t | tee "results/$t.txt"
 done
 
+# Sharded scaling curve (1/2/4/8 workers x both partitioners on the @2x
+# stand-ins) + the uk-2005 full-scale fit forecast.
+echo "== table_scale =="
+./target/release/table_scale | tee "results/table_scale.txt"
+
 # Full-scale P100 capacity report (memstats extrapolation; predicted-OOM
 # cells must line up with the N/A cells of tables 3 and 5).
 echo "== memreport =="

@@ -40,9 +40,9 @@ fn multi_gpu_matches_single_gpu_and_bz() {
 
 #[test]
 fn multi_gpu_memory_splits_but_totals_more() {
-    // each worker holds its slice plus replicated degree arrays, so the
-    // total footprint exceeds single-GPU, while the per-worker max shrinks —
-    // the trade §VII is about.
+    // each worker holds only its compacted shard, but shards overlap at
+    // ghost vertices, so the summed footprint exceeds single-GPU while the
+    // per-device max shrinks — the trade §VII is about.
     let g = gen::rmat(12, 30_000, gen::RmatParams::graph500(), 5);
     let single = decompose(&g, &small_peel(), &SimOptions::default()).unwrap();
     let cfg = MultiGpuConfig {
