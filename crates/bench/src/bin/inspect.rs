@@ -19,9 +19,14 @@
 //! wall-clock profile (`results/traces/<dataset>_<impl>.hostprof.json`);
 //! combined with `KCORE_TIMELINE=1` the Perfetto export grows a "Host
 //! (wall clock)" process with per-thread span tracks beside the simulated
-//! SM tracks.
+//! SM tracks. Set `KCORE_FLEET_TIMELINE=1` to additionally run the sharded
+//! p=4 decomposition and dump its fleet ledger + merged multi-device
+//! Perfetto file (`results/traces/<dataset>_fleet_p4.fleet{,.perfetto}.json`)
+//! plus a per-round critical-path breakdown on the console.
 
-use kcore_bench::{prepare, save_hostprof, save_timeline, save_trace};
+use kcore_bench::{
+    fleet_timeline_enabled, prepare, save_fleet, save_hostprof, save_timeline, save_trace,
+};
 use kcore_gpusim::{Counters, GpuContext, HOTSPOT_TOP_K};
 use kcore_systems::{gswitch, gunrock, medusa, vetga, FrameworkCosts};
 
@@ -208,5 +213,54 @@ fn main() {
             Err(err) => println!("Medusa-MPM: {err}"),
         }
         dump(&mut ctx, e.dataset.name, "Medusa-MPM");
+    }
+
+    // Fleet view: the sharded p=4 run with the exchange ledger, merged
+    // multi-device Perfetto export, and per-round critical path.
+    if fleet_timeline_enabled() {
+        let cfg = kcore_gpu::MultiGpuConfig {
+            num_gpus: 4,
+            peel: e.peel_cfg,
+            ..kcore_gpu::MultiGpuConfig::default()
+        };
+        let label = format!("{} p=4 fleet", e.dataset.name);
+        match kcore_gpu::decompose_multi_fleet(&e.graph, &cfg, &e.sim, label) {
+            Ok(fr) => {
+                fr.fleet
+                    .check_well_formed()
+                    .expect("fleet ledger must replay the run");
+                println!(
+                    "\nFleet p=4      {:>10.3} ms  {} rounds, {} exchange rounds, {} border packets, {} B exchanged",
+                    fr.run.total_ms,
+                    fr.fleet.rounds.len(),
+                    fr.run.exchange_rounds,
+                    fr.run.border_packets,
+                    fr.run.exchanged_bytes,
+                );
+                for c in &fr.fleet.critical_path {
+                    println!(
+                        "    k={:<4} {:>9.3} ms  compute {:>5.1}% cascade {:>5.1}% exchange {:>5.1}% link {:>5.1}%  bound: {} ({})",
+                        c.k,
+                        c.charged_ms,
+                        100.0 * c.compute_share,
+                        100.0 * c.cascade_share,
+                        100.0 * c.exchange_share,
+                        100.0 * c.link_share,
+                        c.bound,
+                        c.bounding_resource,
+                    );
+                }
+                for r in &fr.fleet.device_rollups {
+                    let (bucket, ms) = r.dominant();
+                    println!(
+                        "    device {} rollup: {:.3} ms kernels, dominant {bucket} ({ms:.3} ms)",
+                        r.device, r.kernel_ms
+                    );
+                }
+                let slug = format!("{}_fleet_p4", e.dataset.name.replace(['-', '.'], "_"));
+                save_fleet(&slug, &fr);
+            }
+            Err(err) => println!("Fleet p=4: {err}"),
+        }
     }
 }

@@ -60,6 +60,8 @@ fn entry(
         counters_fingerprint: trace.counters_fingerprint(),
         host_ms,
         host_attributed_ms,
+        exchange_rounds: 0,
+        border_packets: 0,
         hotspots: trace
             .hotspots
             .iter()
@@ -108,6 +110,8 @@ fn main() {
                 counters_fingerprint: 0,
                 host_ms: 0.0,
                 host_attributed_ms: 0.0,
+                exchange_rounds: 0,
+                border_packets: 0,
                 hotspots: Vec::new(),
             });
         } else {
@@ -134,6 +138,55 @@ fn main() {
             let mut ctx = arm(e.sim.context());
             let res = gswitch::peel_in(&mut ctx, &e.graph, e.k_max, &costs).map(|(core, _)| core);
             entries.push(entry(&mut ctx, name, "GSwitch", res, &e.truth));
+        }
+        // Sharded fleet cell: the only entry whose informational exchange
+        // fields are non-zero. Its fingerprint digests the per-worker
+        // fingerprints in shard order (same workload ⇒ same digest).
+        {
+            let cfg = kcore_gpu::MultiGpuConfig {
+                num_gpus: 4,
+                peel: e.peel_cfg,
+                ..kcore_gpu::MultiGpuConfig::default()
+            };
+            match kcore_gpu::decompose_multi_traced(&e.graph, &cfg, &e.sim) {
+                Ok((run, traces)) => {
+                    let mut fp_bytes = Vec::with_capacity(8 * run.worker_fingerprints.len());
+                    for fp in &run.worker_fingerprints {
+                        fp_bytes.extend_from_slice(&fp.to_le_bytes());
+                    }
+                    entries.push(Entry {
+                        dataset: name.into(),
+                        impl_name: "Sharded p=4".into(),
+                        status: if run.core == e.truth { "ok" } else { "wrong" }.into(),
+                        sim_ms: run.total_ms,
+                        launches: traces.iter().map(|t| t.totals.launches).sum(),
+                        counters_fingerprint: kcore_gpusim::fnv1a_bytes(&fp_bytes),
+                        host_ms: 0.0,
+                        host_attributed_ms: 0.0,
+                        exchange_rounds: run.exchange_rounds,
+                        border_packets: run.border_packets,
+                        hotspots: Vec::new(),
+                    });
+                }
+                Err(err) => entries.push(Entry {
+                    dataset: name.into(),
+                    impl_name: "Sharded p=4".into(),
+                    status: match err {
+                        SimError::Oom(_) => "oom",
+                        SimError::TimeLimit { .. } => "timeout",
+                        _ => "error",
+                    }
+                    .into(),
+                    sim_ms: 0.0,
+                    launches: 0,
+                    counters_fingerprint: 0,
+                    host_ms: 0.0,
+                    host_attributed_ms: 0.0,
+                    exchange_rounds: 0,
+                    border_packets: 0,
+                    hotspots: Vec::new(),
+                }),
+            }
         }
     }
 

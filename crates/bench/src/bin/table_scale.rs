@@ -25,9 +25,11 @@
 //! per-device peak strictly decreasing 1 → 2 → 4 devices, and the uk-2005
 //! @1x forecast fitting on ≤ 8 devices.
 
-use kcore_bench::{prepare, prepare_all, print_table, save_json};
-use kcore_gpu::{decompose_multi, decompose_multi_traced, shard_memstats, MultiGpuConfig};
-use kcore_gpusim::P100_DEVICE_BYTES;
+use kcore_bench::{
+    fleet_timeline_enabled, prepare, prepare_all, print_table, save_fleet, save_json,
+};
+use kcore_gpu::{decompose_multi_fleet, decompose_multi_traced, shard_memstats, MultiGpuConfig};
+use kcore_gpusim::{FleetTrace, P100_DEVICE_BYTES};
 use kcore_graph::datasets;
 use kcore_graph::PartitionStrategy;
 use serde::Serialize;
@@ -46,6 +48,97 @@ struct ScaleRow {
     exchanged_bytes: u64,
     max_device_peak_bytes: u64,
     total_peak_bytes: u64,
+    exchange_rounds: u64,
+    border_packets: u64,
+    /// Whole-run aggregate of the per-round critical-path components.
+    critical: CriticalAgg,
+}
+
+/// Per-round critical-path components summed over a run, with the count of
+/// rounds each resource bounded — the `Critical path` table column.
+#[derive(Serialize, Clone)]
+struct CriticalAgg {
+    compute_ms: f64,
+    cascade_ms: f64,
+    exchange_ms: f64,
+    link_ms: f64,
+    compute_bound_rounds: u32,
+    cascade_bound_rounds: u32,
+    exchange_bound_rounds: u32,
+    link_bound_rounds: u32,
+    /// Total peel rounds in the run (the denominator of the bound counts).
+    rounds: usize,
+    /// The resource bounding the most rounds.
+    dominant: String,
+}
+
+impl CriticalAgg {
+    fn from_fleet(fleet: &FleetTrace) -> CriticalAgg {
+        let mut a = CriticalAgg {
+            compute_ms: 0.0,
+            cascade_ms: 0.0,
+            exchange_ms: 0.0,
+            link_ms: 0.0,
+            compute_bound_rounds: 0,
+            cascade_bound_rounds: 0,
+            exchange_bound_rounds: 0,
+            link_bound_rounds: 0,
+            rounds: fleet.critical_path.len(),
+            dominant: "compute".into(),
+        };
+        for c in &fleet.critical_path {
+            a.compute_ms += c.compute_ms;
+            a.cascade_ms += c.cascade_ms;
+            a.exchange_ms += c.exchange_kernel_ms;
+            a.link_ms += c.link_ms;
+            match c.bound {
+                "compute" => a.compute_bound_rounds += 1,
+                "cascade" => a.cascade_bound_rounds += 1,
+                "exchange" => a.exchange_bound_rounds += 1,
+                "link" => a.link_bound_rounds += 1,
+                _ => {}
+            }
+        }
+        let counts = [
+            ("compute", a.compute_bound_rounds),
+            ("cascade", a.cascade_bound_rounds),
+            ("exchange", a.exchange_bound_rounds),
+            ("link", a.link_bound_rounds),
+        ];
+        a.dominant = counts.iter().max_by_key(|(_, n)| *n).unwrap().0.into();
+        a
+    }
+
+    /// Component shares of the aggregate, `(compute, cascade, exchange,
+    /// link)`, as percentages.
+    fn shares(&self) -> (f64, f64, f64, f64) {
+        let sum = self.compute_ms + self.cascade_ms + self.exchange_ms + self.link_ms;
+        if sum <= 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.compute_ms / sum,
+            100.0 * self.cascade_ms / sum,
+            100.0 * self.exchange_ms / sum,
+            100.0 * self.link_ms / sum,
+        )
+    }
+
+    /// Compact table cell: component share percentages plus the modal
+    /// bounding resource.
+    fn cell(&self) -> String {
+        let (c, ca, x, l) = self.shares();
+        let n = match self.dominant.as_str() {
+            "compute" => self.compute_bound_rounds,
+            "cascade" => self.cascade_bound_rounds,
+            "exchange" => self.exchange_bound_rounds,
+            _ => self.link_bound_rounds,
+        };
+        format!(
+            "c{c:.0}/s{ca:.0}/x{x:.0}/l{l:.0}% {}@{n}/{}r",
+            self.dominant, self.rounds
+        )
+    }
 }
 
 #[derive(Serialize)]
@@ -87,8 +180,15 @@ fn mb(b: u64) -> f64 {
     b as f64 / (1024.0 * 1024.0)
 }
 
-/// The scaling sweep over one prepared dataset environment.
-fn sweep(e: &kcore_bench::Env, strategies: &[PartitionStrategy], check: bool) -> Vec<ScaleRow> {
+/// The scaling sweep over one prepared dataset environment. The fleet trace
+/// of the soc-LiveJournal1 balanced-arcs p=2 point (the scaling dip under
+/// investigation) is handed back through `dip` when that point is swept.
+fn sweep(
+    e: &kcore_bench::Env,
+    strategies: &[PartitionStrategy],
+    check: bool,
+    dip: &mut Option<FleetTrace>,
+) -> Vec<ScaleRow> {
     let mut rows = Vec::new();
     for &strategy in strategies {
         let mut base_ms = None;
@@ -100,7 +200,12 @@ fn sweep(e: &kcore_bench::Env, strategies: &[PartitionStrategy], check: bool) ->
                 partition: strategy,
                 ..MultiGpuConfig::default()
             };
-            let run = decompose_multi(&e.graph, &cfg, &e.sim).unwrap();
+            let label = format!("{} p={p} {}", e.dataset.name, strategy.name());
+            let fr = decompose_multi_fleet(&e.graph, &cfg, &e.sim, label).unwrap();
+            fr.fleet
+                .check_well_formed()
+                .expect("fleet ledger must replay the run");
+            let run = &fr.run;
             assert_eq!(
                 run.core,
                 e.truth,
@@ -108,6 +213,20 @@ fn sweep(e: &kcore_bench::Env, strategies: &[PartitionStrategy], check: bool) ->
                 e.dataset.name,
                 strategy.name()
             );
+            if fleet_timeline_enabled() {
+                let slug = format!(
+                    "{}_p{p}_{}",
+                    e.dataset.name.replace(['-', '.'], "_"),
+                    strategy.name()
+                );
+                save_fleet(&slug, &fr);
+            }
+            if e.dataset.name.starts_with("soc-LiveJournal1")
+                && p == 2
+                && strategy == PartitionStrategy::BalancedArcs
+            {
+                *dip = Some(fr.fleet.clone());
+            }
             let base = *base_ms.get_or_insert(run.total_ms);
             let max_peak = run.per_device_peak_bytes.iter().copied().max().unwrap_or(0);
             if check {
@@ -135,6 +254,9 @@ fn sweep(e: &kcore_bench::Env, strategies: &[PartitionStrategy], check: bool) ->
                 exchanged_bytes: run.exchanged_bytes,
                 max_device_peak_bytes: max_peak,
                 total_peak_bytes: run.total_peak_mem_bytes,
+                exchange_rounds: run.exchange_rounds,
+                border_packets: run.border_packets,
+                critical: CriticalAgg::from_fleet(&fr.fleet),
             });
         }
     }
@@ -199,9 +321,10 @@ fn main() {
     };
 
     let mut scaling = Vec::new();
+    let mut dip_fleet: Option<FleetTrace> = None;
     for e in &envs {
         eprintln!("[table_scale] {}", e.dataset.name);
-        scaling.extend(sweep(e, &strategies, check));
+        scaling.extend(sweep(e, &strategies, check, &mut dip_fleet));
     }
 
     // Residency spot check: every worker ledger is shard-local (the
@@ -252,6 +375,7 @@ fn main() {
         "Exch MB",
         "Max dev MB",
         "Sub-rounds",
+        "Critical path",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -268,6 +392,7 @@ fn main() {
                 format!("{:.2}", mb(r.exchanged_bytes)),
                 format!("{:.1}", mb(r.max_device_peak_bytes)),
                 r.sub_rounds.to_string(),
+                r.critical.cell(),
             ]
         })
         .collect();
@@ -279,6 +404,48 @@ fn main() {
             .unwrap_or("fused")
     );
     print_table(&headers, &rows);
+    println!(
+        "\nCritical path column: per-round aggregate shares of \
+         compute(c)/cascade(s)/exchange-kernel(x)/link(l), then the resource \
+         bounding the most rounds (bound@rounds/total)."
+    );
+
+    // The p=2 dip attribution: name what the critical path says bounds the
+    // soc-LiveJournal1 two-device run. This is the observability question
+    // ROADMAP item 3 left open ("border cascades serialize").
+    if let Some(fleet) = &dip_fleet {
+        let agg = CriticalAgg::from_fleet(fleet);
+        let (c, ca, x, l) = agg.shares();
+        let cascade_sub_rounds: u32 = fleet
+            .rounds
+            .iter()
+            .map(|r| r.sub_rounds.saturating_sub(1))
+            .sum();
+        println!(
+            "\nDIP ATTRIBUTION — {} ({:.2} ms, {} rounds, {} exchange rounds, \
+             {} border packets):\n\
+             compute {c:.1}% | cascade sub-rounds {ca:.1}% | exchange kernels \
+             {x:.1}% | link {l:.1}%\n\
+             {} of {} rounds are {}-bound; the run serializes {} border-cascade \
+             sub-rounds, each charged at the slower device's cumulative clock, \
+             so two near-equal shards pay the full cascade tail twice without \
+             halving per-round work.",
+            fleet.label,
+            fleet.total_ms,
+            agg.rounds,
+            fleet.exchange_rounds,
+            fleet.border_packets,
+            match agg.dominant.as_str() {
+                "compute" => agg.compute_bound_rounds,
+                "cascade" => agg.cascade_bound_rounds,
+                "exchange" => agg.exchange_bound_rounds,
+                _ => agg.link_bound_rounds,
+            },
+            agg.rounds,
+            agg.dominant,
+            cascade_sub_rounds,
+        );
+    }
 
     let fit_headers: Vec<String> = [
         "Dataset",

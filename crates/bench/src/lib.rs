@@ -349,6 +349,34 @@ pub fn save_hostprof(name: &str, profile: &kcore_gpusim::HostProfile) {
     eprintln!("[saved {}]", path.display());
 }
 
+/// Env knob: set `KCORE_FLEET_TIMELINE=1` to make `inspect` and
+/// `table_scale` export fleet observability artifacts (the fleet trace plus
+/// the merged multi-device Perfetto document) beside their normal output.
+pub const FLEET_TIMELINE_ENV: &str = "KCORE_FLEET_TIMELINE";
+
+/// Whether [`FLEET_TIMELINE_ENV`] is set.
+pub fn fleet_timeline_enabled() -> bool {
+    std::env::var_os(FLEET_TIMELINE_ENV).is_some()
+}
+
+/// Writes a [`FleetRun`](kcore_gpu::FleetRun)'s observability artifacts:
+/// the fleet trace as `results/traces/<name>.fleet.json` and the merged
+/// multi-device Perfetto document as
+/// `results/traces/<name>.fleet.perfetto.json` (open in
+/// <https://ui.perfetto.dev> — one process per device plus the link
+/// process with worker→master→owner flow events).
+pub fn save_fleet(name: &str, fr: &kcore_gpu::FleetRun) {
+    let dir = results_dir().join("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path = dir.join(format!("{name}.fleet.json"));
+    std::fs::write(&path, fr.fleet.to_json()).expect("write fleet trace");
+    eprintln!("[saved {}]", path.display());
+    let path = dir.join(format!("{name}.fleet.perfetto.json"));
+    std::fs::write(&path, fr.fleet.merged_chrome_json(&fr.timelines))
+        .expect("write fleet timeline");
+    eprintln!("[saved {}]", path.display());
+}
+
 /// Serializes rows as JSON into `results/<name>.json`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));

@@ -70,6 +70,15 @@ pub struct Entry {
     /// Host wall-clock attributed to named buckets by the host profiler,
     /// ms — informational, like [`Entry::host_ms`].
     pub host_attributed_ms: f64,
+    /// Sharded-engine exchanges that carried border packets —
+    /// **informational only**, like [`Entry::host_ms`]: never part of the
+    /// regression gate, `0` for single-device entries, and absent from
+    /// snapshots written before the field existed (the parser treats a
+    /// missing key as absent, so old snapshots parse cleanly).
+    pub exchange_rounds: u64,
+    /// Worker→master border packets over the run — informational, like
+    /// [`Entry::exchange_rounds`].
+    pub border_packets: u64,
     /// Per-kernel hotspot summary, worst kernel first.
     pub hotspots: Vec<HotspotSummary>,
 }
@@ -221,8 +230,20 @@ pub fn diff(prev: &Value, cur: &Snapshot) -> DiffReport {
         } else {
             String::new()
         };
+        // Exchange-ledger note: informational like host time — border
+        // traffic is a workload property already covered by the
+        // fingerprint, never a time gate.
+        let old_packets = get(old, "border_packets").and_then(as_u64).unwrap_or(0);
+        let xch_note = if old_packets > 0 || e.border_packets > 0 {
+            format!(
+                "  [border {old_packets} -> {} packets, informational]",
+                e.border_packets
+            )
+        } else {
+            String::new()
+        };
         rep.lines.push(format!(
-            "  {key}: {old_ms:.3} ms -> {:.3} ms ({:+.1}%){fp_note}{host_note}",
+            "  {key}: {old_ms:.3} ms -> {:.3} ms ({:+.1}%){fp_note}{host_note}{xch_note}",
             e.sim_ms,
             delta * 100.0
         ));
@@ -537,6 +558,8 @@ mod tests {
             counters_fingerprint: fp,
             host_ms: 7.5,
             host_attributed_ms: 7.2,
+            exchange_rounds: 0,
+            border_packets: 0,
             hotspots: vec![HotspotSummary {
                 kernel: "loop".into(),
                 launches: 5,
@@ -640,6 +663,45 @@ mod tests {
         let rep = diff(&old, &snap(1, vec![entry("a", "Ours", 10.0, 1)]));
         assert!(!rep.failed());
         assert!(!rep.lines[0].contains("host"), "{:?}", rep.lines);
+    }
+
+    #[test]
+    fn exchange_fields_round_trip_and_never_gate() {
+        let mut e = entry("a", "Sharded p=4", 10.0, 1);
+        e.exchange_rounds = 3;
+        e.border_packets = 1234;
+        let s = snap(0, vec![e]);
+        let v = parse_json(&serde_json::to_string_pretty(&s).unwrap()).unwrap();
+        let entries = get(&v, "entries").and_then(as_array).unwrap();
+        assert_eq!(
+            get(&entries[0], "exchange_rounds").and_then(as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            get(&entries[0], "border_packets").and_then(as_u64),
+            Some(1234)
+        );
+        // A border-traffic explosion with identical sim time is
+        // informational only — never a regression.
+        let mut noisy = entry("a", "Sharded p=4", 10.0, 1);
+        noisy.exchange_rounds = 300;
+        noisy.border_packets = 123_400;
+        let rep = diff(&v, &snap(1, vec![noisy]));
+        assert!(!rep.failed(), "{:?}", rep.regressions);
+        assert!(
+            rep.lines[0].contains("border 1234 -> 123400 packets"),
+            "{:?}",
+            rep.lines
+        );
+        // Pre-ledger snapshots (no border_packets key) diff silently when
+        // the new entry also carries no border traffic.
+        let old = parse_json(
+            r#"{"schema_version": 1, "mode": "smoke", "entries": [{"dataset": "a", "impl_name": "Ours", "status": "ok", "sim_ms": 10.0, "counters_fingerprint": 1}]}"#,
+        )
+        .unwrap();
+        let rep = diff(&old, &snap(1, vec![entry("a", "Ours", 10.0, 1)]));
+        assert!(!rep.failed());
+        assert!(!rep.lines[0].contains("border"), "{:?}", rep.lines);
     }
 
     #[test]

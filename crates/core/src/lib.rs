@@ -53,7 +53,7 @@ pub use config::{Buffering, Compaction, ExecPath, PeelConfig};
 pub use dynamic::{BatchPath, BatchReport, DynamicConfig, DynamicCore};
 pub use kcore_gpusim::SimOptions;
 pub use multi_gpu::{
-    decompose_multi, decompose_multi_traced, shard_memstats, single_gpu_ms, MultiGpuConfig,
-    MultiGpuRun,
+    decompose_multi, decompose_multi_fleet, decompose_multi_traced, shard_memstats, single_gpu_ms,
+    FleetRun, MultiGpuConfig, MultiGpuRun,
 };
 pub use peel::{decompose, decompose_in, GpuRun};

@@ -43,11 +43,12 @@
 use crate::config::{ExecPath, PeelConfig};
 use crate::peel;
 use kcore_gpusim::{
-    BlockCtx, BufferId, FleetMemStats, GpuContext, KernelError, SimError, SimOptions, SizeClass,
-    Trace,
+    BlockCtx, BufferId, ExchangeTrace, FleetMemStats, FleetTrace, FlowEdge, GpuContext,
+    KernelError, RoundTrace, SimError, SimOptions, SizeClass, SubRoundSlice, Timeline, Trace,
 };
 use kcore_graph::{Csr, Partition, PartitionStrategy};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
 /// Sentinel base value for ghost `deg` slots. Large enough that a ghost can
@@ -110,6 +111,28 @@ pub struct MultiGpuRun {
     pub worker_fingerprints: Vec<u64>,
     /// Bytes exchanged between devices over the whole run.
     pub exchanged_bytes: u64,
+    /// Exchanges that actually carried border packets (informational
+    /// observability rollup — never feeds the cost model).
+    pub exchange_rounds: u64,
+    /// Total worker→master border packets over the run (informational).
+    pub border_packets: u64,
+}
+
+/// A traced fleet run: the result plus every observability artifact the
+/// fleet layer derives — per-device traces/timelines and the
+/// [`FleetTrace`] ledger. Everything here observes the same run; none of it
+/// perturbs `total_ms`, fingerprints, or `exchanged_bytes`.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// The decomposition result, bit-identical to [`decompose_multi`].
+    pub run: MultiGpuRun,
+    /// Per-worker traces, shard order (same as [`decompose_multi_traced`]).
+    pub traces: Vec<Trace>,
+    /// Per-worker SM timelines, shard order — feed
+    /// [`FleetTrace::merged_chrome_json`].
+    pub timelines: Vec<Timeline>,
+    /// The fleet ledger: exchange flows, sub-round slices, critical path.
+    pub fleet: FleetTrace,
 }
 
 /// One worker: a device context holding its shard's peel working set.
@@ -142,6 +165,59 @@ pub fn decompose_multi_traced(
     cfg: &MultiGpuConfig,
     opts: &SimOptions,
 ) -> Result<(MultiGpuRun, Vec<Trace>), SimError> {
+    decompose_multi_impl(g, cfg, opts, None).map(|(run, traces, _, _)| (run, traces))
+}
+
+/// [`decompose_multi`] with the full fleet observability layer: the run,
+/// the per-worker traces and timelines, and the [`FleetTrace`] ledger
+/// (exchange flows, sub-round slices, per-round critical path). The run
+/// itself — `total_ms`, fingerprints, `exchanged_bytes`, traces — is
+/// bit-identical to [`decompose_multi_traced`]; the fleet layer only
+/// observes.
+pub fn decompose_multi_fleet(
+    g: &Csr,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+    label: impl Into<String>,
+) -> Result<FleetRun, SimError> {
+    let (run, traces, rounds, timelines) = decompose_multi_impl(g, cfg, opts, Some(label.into()))?;
+    let (label, timelines, setup_ms, result_ms) = timelines.expect("fleet capture requested");
+    let fleet = FleetTrace::new(
+        label,
+        setup_ms,
+        result_ms,
+        run.total_ms,
+        run.exchanged_bytes,
+        rounds,
+        traces.clone(),
+    );
+    Ok(FleetRun {
+        run,
+        traces,
+        timelines,
+        fleet,
+    })
+}
+
+/// Fleet-capture payload threaded out of the impl when a label is given:
+/// `(label, per-worker timelines, setup_ms, result_ms)`.
+type FleetCapture = (String, Vec<Timeline>, f64, f64);
+
+/// Everything `decompose_multi_impl` produces: the run, per-worker traces,
+/// the per-round ledger, and the optional fleet capture.
+type MultiImplOutput = (
+    MultiGpuRun,
+    Vec<Trace>,
+    Vec<RoundTrace>,
+    Option<FleetCapture>,
+);
+
+fn decompose_multi_impl(
+    g: &Csr,
+    cfg: &MultiGpuConfig,
+    opts: &SimOptions,
+    fleet_label: Option<String>,
+) -> Result<MultiImplOutput, SimError> {
     assert!(cfg.num_gpus >= 1);
     let n = g.num_vertices() as usize;
     if n == 0 {
@@ -157,8 +233,12 @@ pub fn decompose_multi_traced(
                 per_device_peak_bytes: Vec::new(),
                 worker_fingerprints: Vec::new(),
                 exchanged_bytes: 0,
+                exchange_rounds: 0,
+                border_packets: 0,
             },
             Vec::new(),
+            Vec::new(),
+            fleet_label.map(|label| (label, Vec::new(), 0.0, 0.0)),
         ));
     }
     assert!(n < (1 << 30), "ghost sentinel headroom requires |V| < 2^30");
@@ -172,6 +252,7 @@ pub fn decompose_multi_traced(
     let part = Partition::build(g, cfg.num_gpus, cfg.partition);
     let mut workers = build_workers(&part, cfg, opts)?;
     let mut total_ms = max_f64(workers.iter().map(|w| w.ctx.elapsed_ms()));
+    let setup_ms = total_ms;
     drop(partition_span);
 
     let mut exchanged_bytes = 0u64;
@@ -181,35 +262,45 @@ pub fn decompose_multi_traced(
     let mut removed = 0u64;
     // Update scratch, reused across exchanges.
     let mut updates: Vec<(u32, u32)> = Vec::new();
+    // Fleet ledger: one entry per peel round. Observability only — every
+    // charged_ms below is recorded *from* the addend folded into total_ms,
+    // never the other way around.
+    let mut round_log: Vec<RoundTrace> = Vec::new();
 
     let rounds_span = prof.map(|hp| hp.span("multi_gpu/rounds"));
     while removed < n as u64 {
         rounds += 1;
+        let mut slices: Vec<SubRoundSlice> = Vec::new();
+        let mut exchanges: Vec<ExchangeTrace> = Vec::new();
         // Sub-round 0: every worker scans its shard for the k-shell and
         // drains the resulting cascade — the real kernels, concurrently.
         sub_rounds += 1;
-        total_ms += run_workers(&mut workers, |w| {
+        let slice = run_workers(&mut workers, 0, |w| {
             peel::run_scan_loop(&mut w.ctx, k, &w.st, &cfg.peel)?;
             sync_worker(w)
         })?;
+        total_ms += slice.charged_ms;
+        slices.push(slice);
 
         // Border sub-rounds: exchange ghost decrements, seed owners, run
         // loop-only launches, until an exchange produces no seeds.
         loop {
-            let (any_seeds, exchange_ms) = exchange(
+            let (any_seeds, exchange_ms, ledger) = exchange(
                 &mut workers,
                 &part,
                 k,
                 cfg,
                 &mut updates,
                 &mut exchanged_bytes,
+                slices.len() as u32 - 1,
             )?;
             total_ms += exchange_ms;
+            exchanges.push(ledger);
             if !any_seeds {
                 break;
             }
             sub_rounds += 1;
-            total_ms += run_workers(&mut workers, |w| {
+            let slice = run_workers(&mut workers, slices.len() as u32, |w| {
                 if w.seeds.is_empty() {
                     return Ok(0.0);
                 }
@@ -218,8 +309,16 @@ pub fn decompose_multi_traced(
                 peel::run_loop_only(&mut w.ctx, k, &w.st, &cfg.peel)?;
                 sync_worker(w)
             })?;
+            total_ms += slice.charged_ms;
+            slices.push(slice);
         }
 
+        round_log.push(RoundTrace {
+            k,
+            sub_rounds: slices.len() as u32,
+            slices,
+            exchanges,
+        });
         removed = workers.iter().map(|w| w.count).sum();
         k += 1;
         if k as usize > n + 1 {
@@ -250,6 +349,16 @@ pub fn decompose_multi_traced(
     }
     total_ms += result_ms;
 
+    // Timelines are captured before `trace()` only when the fleet layer
+    // asked; both are pure derivations, so the traced path is unchanged.
+    let fleet_capture = fleet_label.map(|label| {
+        let timelines: Vec<Timeline> = workers
+            .iter()
+            .enumerate()
+            .map(|(wi, w)| w.ctx.timeline(format!("worker{wi}")))
+            .collect();
+        (label, timelines, setup_ms, result_ms)
+    });
     let traces: Vec<Trace> = workers
         .iter_mut()
         .enumerate()
@@ -258,6 +367,16 @@ pub fn decompose_multi_traced(
     let per_device_peak_bytes: Vec<u64> =
         workers.iter().map(|w| w.ctx.device.peak_bytes()).collect();
     let k_max = core.iter().copied().max().unwrap_or(0);
+    let exchange_rounds = round_log
+        .iter()
+        .flat_map(|r| &r.exchanges)
+        .filter(|e| e.packets_out > 0)
+        .count() as u64;
+    let border_packets = round_log
+        .iter()
+        .flat_map(|r| &r.exchanges)
+        .map(|e| e.packets_out)
+        .sum();
     Ok((
         MultiGpuRun {
             core,
@@ -270,8 +389,12 @@ pub fn decompose_multi_traced(
             worker_fingerprints: traces.iter().map(|t| t.counters_fingerprint()).collect(),
             per_device_peak_bytes,
             exchanged_bytes,
+            exchange_rounds,
+            border_packets,
         },
         traces,
+        round_log,
+        fleet_capture,
     ))
 }
 
@@ -321,24 +444,54 @@ fn build_workers(
 }
 
 /// Runs `f` on every worker concurrently (order-preserving rayon map) and
-/// returns the max simulated-time delta — the wall time of a phase where
-/// all devices run in parallel. Each worker only ever touches its own
-/// context, so the result is bit-identical at any pool size.
+/// records the barrier sub-round as a [`SubRoundSlice`]: `charged_ms` is the
+/// max over the workers' returns — the exact addend the caller folds into
+/// `total_ms`, unchanged from the pre-ledger engine (f64 max over
+/// non-negative values is associative, so the sequential fold below is
+/// bit-identical to the old rayon reduce) — and `device_start_ms` /
+/// `device_ms` are each device's local clock at entry and its delta over
+/// the sub-round. Each worker only ever touches its own context, so every
+/// field is bit-identical at any pool size.
+/// Per-worker observation: `(charged_ms, device_start_ms, device_delta_ms)`.
+type WorkerObs = Result<(f64, f64, f64), SimError>;
+
 fn run_workers(
     workers: &mut [Worker],
+    sub_round: u32,
     f: impl Fn(&mut Worker) -> Result<f64, SimError> + Sync,
-) -> Result<f64, SimError> {
-    workers
+) -> Result<SubRoundSlice, SimError> {
+    let mut observed: Vec<(usize, WorkerObs)> = workers
         .par_iter_mut()
         .enumerate()
-        .map(|(_, w)| f(w))
-        .reduce(
-            || Ok(0.0),
-            |a, b| match (a, b) {
-                (Err(e), _) | (_, Err(e)) => Err(e),
-                (Ok(x), Ok(y)) => Ok(x.max(y)),
-            },
-        )
+        .map(|(i, w)| {
+            let start = w.ctx.elapsed_ms();
+            let r = f(w).map(|charged| (charged, start, w.ctx.elapsed_ms() - start));
+            vec![(i, r)]
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    // Reduction order is unspecified; shard order is restored by index so
+    // every ledger field is pool-size-independent.
+    observed.sort_by_key(|&(i, _)| i);
+    let mut slice = SubRoundSlice {
+        sub_round,
+        charged_ms: 0.0,
+        device_start_ms: Vec::with_capacity(workers.len()),
+        device_ms: Vec::with_capacity(workers.len()),
+        bounding_device: 0,
+    };
+    for (d, r) in observed {
+        let (charged, start, delta) = r?;
+        if charged > slice.charged_ms {
+            slice.charged_ms = charged;
+            slice.bounding_device = d;
+        }
+        slice.device_start_ms.push(start);
+        slice.device_ms.push(delta);
+    }
+    Ok(slice)
 }
 
 /// The synchronizing `gpu_count` readback (Algorithm 1 line 8) on one
@@ -356,7 +509,11 @@ fn sync_worker(w: &mut Worker) -> Result<f64, SimError> {
 /// One border exchange: drain every worker's ghost accumulator slots, ship
 /// the packets worker → master → owner, apply them with the floor-at-`k`
 /// rule, and seed owners whose vertices crossed into the k-shell. Returns
-/// `(any seeds produced, simulated exchange wall time)`.
+/// `(any seeds produced, simulated exchange wall time, ledger)` — the
+/// [`ExchangeTrace`] records the shard-pair flows and the
+/// latency-vs-bandwidth split of both hops without touching a single
+/// charged value: `charged_ms` in the ledger *is* the returned wall time.
+#[allow(clippy::too_many_arguments)]
 fn exchange(
     workers: &mut [Worker],
     part: &Partition,
@@ -364,8 +521,32 @@ fn exchange(
     cfg: &MultiGpuConfig,
     updates: &mut Vec<(u32, u32)>,
     exchanged_bytes: &mut u64,
-) -> Result<(bool, f64), SimError> {
+    after_sub_round: u32,
+) -> Result<(bool, f64, ExchangeTrace), SimError> {
+    let num = workers.len();
+    let mut ledger = ExchangeTrace {
+        after_sub_round,
+        charged_ms: 0.0,
+        pack_ms: 0.0,
+        hop1_ms: 0.0,
+        hop2_ms: 0.0,
+        apply_ms: 0.0,
+        pack_bounding_device: 0,
+        apply_bounding_device: 0,
+        packets_out: 0,
+        packets_aggregated: 0,
+        bytes: 0,
+        seeds: 0,
+        seeds_per_device: vec![0; num],
+        flows: Vec::new(),
+    };
     let mut ms = 0.0f64;
+    // Shard-pair packet counts for the flow ledger, keyed (from, to) — a
+    // BTreeMap so the flow order is deterministic.
+    let mut pair_packets: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    // Per-device launch-record indices backing the flow edges.
+    let mut pack_seq: Vec<Option<usize>> = vec![None; num];
+    let mut apply_seq: Vec<Option<usize>> = vec![None; num];
     // ---- drain + pack, shard index order ---------------------------------
     updates.clear();
     let mut packets_out = 0u64;
@@ -388,6 +569,7 @@ fn exchange(
                     updates.push((gv, GHOST_BASE - val));
                     slot.store(GHOST_BASE, Ordering::Relaxed);
                     touched += 1;
+                    *pair_packets.entry((wi, part.owner_of(gv))).or_insert(0) += 1;
                 }
             }
         }
@@ -403,12 +585,18 @@ fn exchange(
                 blk.charge_tx(BlockCtx::coalesced_tx(2 * share));
                 Ok(())
             })?;
-            ms = ms.max(w.ctx.elapsed_ms() - before);
+            pack_seq[wi] = Some(w.ctx.launches().len() - 1);
+            let delta = w.ctx.elapsed_ms() - before;
+            if delta > ms {
+                ms = delta;
+                ledger.pack_bounding_device = wi;
+            }
         }
     }
     if updates.is_empty() {
-        return Ok((false, ms));
+        return Ok((false, ms, ledger));
     }
+    ledger.pack_ms = ms;
 
     // ---- master aggregation, ascending global ID -------------------------
     updates.sort_unstable();
@@ -425,6 +613,15 @@ fn exchange(
     let bytes = (packets_out + aggregated.len() as u64) * 8;
     *exchanged_bytes += bytes;
     ms += (cfg.link_latency_s * 2.0 + bytes as f64 / cfg.link_bandwidth) * 1e3;
+    // Informational hop split (latency + that hop's bandwidth term); the
+    // charged link cost above stays the single fused expression so
+    // `total_ms` is bit-identical to the pre-ledger engine.
+    ledger.hop1_ms = (cfg.link_latency_s + packets_out as f64 * 8.0 / cfg.link_bandwidth) * 1e3;
+    ledger.hop2_ms =
+        (cfg.link_latency_s + aggregated.len() as f64 * 8.0 / cfg.link_bandwidth) * 1e3;
+    ledger.packets_out = packets_out;
+    ledger.packets_aggregated = aggregated.len() as u64;
+    ledger.bytes = bytes;
 
     // ---- owner-side apply, shard index order -----------------------------
     // O(1) owner lookup through the partition map (the old prototype did a
@@ -452,6 +649,7 @@ fn exchange(
             blk.counters.global_atomics += share;
             Ok(())
         })?;
+        apply_seq[owner] = Some(w.ctx.launches().len() - 1);
         {
             let deg = w.ctx.device.buffer(w.st.d_deg);
             for &(gv, cnt) in bucket {
@@ -467,14 +665,36 @@ fn exchange(
                     if cur - applicable == k {
                         w.seeds.push(lv as u32);
                         any_seeds = true;
+                        ledger.seeds += 1;
+                        ledger.seeds_per_device[owner] += 1;
                     }
                 }
             }
         }
-        apply_ms = apply_ms.max(w.ctx.elapsed_ms() - before);
+        let delta = w.ctx.elapsed_ms() - before;
+        if delta > apply_ms {
+            apply_ms = delta;
+            ledger.apply_bounding_device = owner;
+        }
         start = end;
     }
-    Ok((any_seeds, ms + apply_ms))
+    // Flow edges: every pair that shipped packets has a pack launch on the
+    // shipper and — because the master forwards every aggregated vertex to
+    // its owner — an apply launch on the receiver.
+    ledger.flows = pair_packets
+        .into_iter()
+        .map(|((from, to), packets)| FlowEdge {
+            from_device: from,
+            to_device: to,
+            packets,
+            bytes: packets * 8,
+            pack_launch_seq: pack_seq[from].expect("shipper ran a pack launch"),
+            apply_launch_seq: apply_seq[to].expect("owner ran an apply launch"),
+        })
+        .collect();
+    ledger.apply_ms = apply_ms;
+    ledger.charged_ms = ms + apply_ms;
+    Ok((any_seeds, ms + apply_ms, ledger))
 }
 
 /// Injects border seeds (local IDs) into the per-block frontier buffers for
@@ -716,6 +936,61 @@ mod tests {
         // Reference differs only in kernel-internal counter attribution.
         assert_eq!(runs[0].worker_fingerprints, runs[1].worker_fingerprints);
         assert_eq!(runs[0].total_ms.to_bits(), runs[1].total_ms.to_bits());
+    }
+
+    #[test]
+    fn fleet_capture_observes_and_never_charges() {
+        // The fleet path must return the *same run* — total_ms to the bit,
+        // identical fingerprints and exchange volume — while its ledger
+        // replays the charged addends exactly (check_well_formed).
+        let g = gen::path(400);
+        let (base, base_traces) =
+            decompose_multi_traced(&g, &cfg(4), &SimOptions::default()).unwrap();
+        let fr = decompose_multi_fleet(&g, &cfg(4), &SimOptions::default(), "path400").unwrap();
+        assert_eq!(fr.run.total_ms.to_bits(), base.total_ms.to_bits());
+        assert_eq!(fr.run.worker_fingerprints, base.worker_fingerprints);
+        assert_eq!(fr.run.exchanged_bytes, base.exchanged_bytes);
+        assert_eq!(fr.traces.len(), base_traces.len());
+        for (a, b) in fr.traces.iter().zip(&base_traces) {
+            assert_eq!(a.counters_fingerprint(), b.counters_fingerprint());
+        }
+        fr.fleet.check_well_formed().unwrap();
+        assert_eq!(fr.fleet.rounds.len(), fr.run.rounds as usize);
+        // path(400) over 4 shards bounces its 1-shell across borders
+        assert!(fr.run.border_packets > 0);
+        assert!(fr.run.exchange_rounds > 0);
+        let ledger_bytes: u64 = fr
+            .fleet
+            .rounds
+            .iter()
+            .flat_map(|r| &r.exchanges)
+            .map(|e| e.bytes)
+            .sum();
+        assert_eq!(ledger_bytes, fr.run.exchanged_bytes);
+        // every round has a named bounding resource
+        for c in &fr.fleet.critical_path {
+            assert_ne!(c.bound, "idle");
+            assert!(c.bounding_resource.starts_with("device") || c.bounding_resource == "link");
+        }
+        // the merged perfetto export renders and carries link flow events
+        let json = fr.fleet.merged_chrome_json(&fr.timelines);
+        assert!(json.contains("Fleet links"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("border cascades"));
+    }
+
+    #[test]
+    fn one_gpu_fleet_has_no_flows() {
+        let g = gen::erdos_renyi_gnm(300, 900, 1);
+        let fr = decompose_multi_fleet(&g, &cfg(1), &SimOptions::default(), "er").unwrap();
+        fr.fleet.check_well_formed().unwrap();
+        assert_eq!(fr.run.border_packets, 0);
+        assert_eq!(fr.run.exchange_rounds, 0);
+        assert!(fr
+            .fleet
+            .rounds
+            .iter()
+            .all(|r| r.exchanges.iter().all(|e| e.flows.is_empty())));
     }
 
     #[test]

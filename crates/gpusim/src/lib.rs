@@ -57,6 +57,7 @@
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod fleet;
 pub mod hostprof;
 pub mod memstats;
 pub mod perfetto;
@@ -72,6 +73,10 @@ pub use cost::{
 pub use device::{BufferId, Device, LedgerEntry, OomError, SizeClass};
 pub use exec::{
     BlockCtx, Coalescing, GpuContext, KernelError, LaunchConfig, SharedArray, SimError, SimOptions,
+};
+pub use fleet::{
+    fnv1a_bytes, DeviceRollup, ExchangeTrace, FleetTrace, FlowEdge, RoundCritical, RoundTrace,
+    SubRoundSlice, FLEET_SCHEMA_VERSION,
 };
 pub use hostprof::{
     FakeClock, HostBucket, HostClock, HostEvent, HostPhase, HostProfile, HostProfiler, HostSpan,

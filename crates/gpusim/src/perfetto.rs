@@ -60,27 +60,67 @@ impl Timeline {
     /// are unaffected by host profiling being available.
     pub fn to_chrome_json_with_host(&self, host: Option<&HostProfile>) -> String {
         let mut events: Vec<Value> = Vec::new();
+        self.push_chrome_events(&mut events, GPU_PID, PCIE_PID, MEM_PID, "");
 
+        // ---- host wall-clock tracks (optional) -----------------------
+        if let Some(h) = host {
+            events.extend(h.chrome_events(HOST_PID));
+        }
+
+        let doc = obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::Str("ms".into())),
+            (
+                "otherData",
+                obj(vec![
+                    ("schema_version", Value::UInt(self.schema_version as u64)),
+                    ("label", Value::Str(self.label.clone())),
+                    ("sm_count", Value::UInt(self.sm_count as u64)),
+                ]),
+            ),
+        ]);
+        serde_json::to_string(&doc).expect("timeline serializes")
+    }
+
+    /// Appends this timeline's track metadata, block/transfer/memory spans,
+    /// and counter events onto `events`, parameterized over the three
+    /// process ids and a process-name prefix. The single-device exports call
+    /// this with `(0, 1, 2, "")` — byte-identical to the pre-refactor
+    /// output — while the fleet export ([`crate::fleet`]) lays several
+    /// devices side by side under distinct pids and `"D<n> · "` prefixes.
+    pub(crate) fn push_chrome_events(
+        &self,
+        events: &mut Vec<Value>,
+        gpu_pid: u64,
+        pcie_pid: u64,
+        mem_pid: u64,
+        prefix: &str,
+    ) {
         // ---- track metadata ------------------------------------------
         events.push(meta_event(
             "process_name",
-            GPU_PID,
+            gpu_pid,
             None,
-            format!("GPU · {} SMs · {}", self.sm_count, self.label),
+            format!("{prefix}GPU · {} SMs · {}", self.sm_count, self.label),
         ));
-        events.push(meta_event("process_name", PCIE_PID, None, "PCIe".into()));
+        events.push(meta_event(
+            "process_name",
+            pcie_pid,
+            None,
+            format!("{prefix}PCIe"),
+        ));
         events.push(meta_event(
             "thread_name",
-            PCIE_PID,
+            pcie_pid,
             Some(0),
             "Host ↔ Device".into(),
         ));
         if !self.memory.is_empty() {
             events.push(meta_event(
                 "process_name",
-                MEM_PID,
+                mem_pid,
                 None,
-                "Device memory".into(),
+                format!("{prefix}Device memory"),
             ));
             let mut lanes: Vec<u64> = self.memory.iter().map(|m| m.slot).collect();
             lanes.sort_unstable();
@@ -88,7 +128,7 @@ impl Timeline {
             for lane in lanes {
                 events.push(meta_event(
                     "thread_name",
-                    MEM_PID,
+                    mem_pid,
                     Some(lane),
                     format!("alloc slot {lane}"),
                 ));
@@ -106,11 +146,11 @@ impl Timeline {
             } else {
                 format!("SM {sm:02} · slot {slot}")
             };
-            events.push(meta_event("thread_name", GPU_PID, Some(tid), name));
+            events.push(meta_event("thread_name", gpu_pid, Some(tid), name));
             events.push(obj(vec![
                 ("name", Value::Str("thread_sort_index".into())),
                 ("ph", Value::Str("M".into())),
-                ("pid", Value::UInt(GPU_PID)),
+                ("pid", Value::UInt(gpu_pid)),
                 ("tid", Value::UInt(tid)),
                 ("args", obj(vec![("sort_index", Value::UInt(tid))])),
             ]));
@@ -124,7 +164,7 @@ impl Timeline {
                 ("ph", Value::Str("X".into())),
                 ("ts", Value::Float(s.start_ms * 1e3)),
                 ("dur", Value::Float((s.end_ms - s.start_ms) * 1e3)),
-                ("pid", Value::UInt(GPU_PID)),
+                ("pid", Value::UInt(gpu_pid)),
                 ("tid", Value::UInt((s.sm * SLOT_STRIDE + s.slot) as u64)),
                 (
                     "args",
@@ -145,7 +185,7 @@ impl Timeline {
                 ("ph", Value::Str("X".into())),
                 ("ts", Value::Float(t.start_ms * 1e3)),
                 ("dur", Value::Float((t.end_ms - t.start_ms) * 1e3)),
-                ("pid", Value::UInt(PCIE_PID)),
+                ("pid", Value::UInt(pcie_pid)),
                 ("tid", Value::UInt(0)),
                 (
                     "args",
@@ -165,7 +205,7 @@ impl Timeline {
                 ("ph", Value::Str("X".into())),
                 ("ts", Value::Float(m.start_ms * 1e3)),
                 ("dur", Value::Float((m.end_ms - m.start_ms) * 1e3)),
-                ("pid", Value::UInt(MEM_PID)),
+                ("pid", Value::UInt(mem_pid)),
                 ("tid", Value::UInt(m.slot)),
                 (
                     "args",
@@ -180,33 +220,14 @@ impl Timeline {
 
         // ---- counter tracks ------------------------------------------
         for c in &self.counters {
-            events.push(counter_event(GPU_PID, c.track, c.time_ms, c.value));
+            events.push(counter_event(gpu_pid, c.track, c.time_ms, c.value));
         }
         for (ts_ms, warps) in active_warps(self) {
-            events.push(counter_event(GPU_PID, "active_warps", ts_ms, warps as f64));
+            events.push(counter_event(gpu_pid, "active_warps", ts_ms, warps as f64));
         }
         for (ts_ms, bytes) in device_bytes(self) {
-            events.push(counter_event(MEM_PID, "device_bytes", ts_ms, bytes as f64));
+            events.push(counter_event(mem_pid, "device_bytes", ts_ms, bytes as f64));
         }
-
-        // ---- host wall-clock tracks (optional) -----------------------
-        if let Some(h) = host {
-            events.extend(h.chrome_events(HOST_PID));
-        }
-
-        let doc = obj(vec![
-            ("traceEvents", Value::Array(events)),
-            ("displayTimeUnit", Value::Str("ms".into())),
-            (
-                "otherData",
-                obj(vec![
-                    ("schema_version", Value::UInt(self.schema_version as u64)),
-                    ("label", Value::Str(self.label.clone())),
-                    ("sm_count", Value::UInt(self.sm_count as u64)),
-                ]),
-            ),
-        ]);
-        serde_json::to_string(&doc).expect("timeline serializes")
     }
 }
 
@@ -252,7 +273,7 @@ fn merge_edges(mut edges: Vec<(f64, i64)>) -> Vec<(f64, i64)> {
     out
 }
 
-fn counter_event(pid: u64, track: &str, ts_ms: f64, value: f64) -> Value {
+pub(crate) fn counter_event(pid: u64, track: &str, ts_ms: f64, value: f64) -> Value {
     obj(vec![
         ("name", Value::Str(track.into())),
         ("ph", Value::Str("C".into())),
@@ -263,7 +284,7 @@ fn counter_event(pid: u64, track: &str, ts_ms: f64, value: f64) -> Value {
     ])
 }
 
-fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: String) -> Value {
+pub(crate) fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: String) -> Value {
     let mut entries = vec![
         ("name", Value::Str(name.into())),
         ("ph", Value::Str("M".into())),
@@ -276,7 +297,7 @@ fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: String) -> Value {
     obj(entries)
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Object(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 

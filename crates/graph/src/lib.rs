@@ -50,7 +50,7 @@ pub mod update;
 
 pub use builder::{BuildPath, GraphBuilder};
 pub use csr::{Csr, VertexId};
-pub use partition::{Partition, PartitionStrategy, Shard};
+pub use partition::{Partition, PartitionStats, PartitionStrategy, PeerStats, Shard, ShardStats};
 pub use stats::GraphStats;
 pub use update::EdgeUpdate;
 

@@ -36,6 +36,7 @@
 
 use crate::csr::{Csr, VertexId};
 use rustc_hash::FxHashMap;
+use serde::Serialize;
 
 /// How [`Partition::build`] assigns vertices to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +174,110 @@ impl Partition {
     pub fn owner_of(&self, v: VertexId) -> usize {
         self.owner[v as usize] as usize
     }
+
+    /// Border structure rollup for observability: per-shard ghost/border-arc
+    /// counts and the per-peer breakdown — who each shard's ghosts belong
+    /// to, i.e. the static shape of the exchange traffic the fleet ledger
+    /// measures dynamically. Pure derivation; deterministic like the
+    /// partition itself.
+    pub fn stats(&self) -> PartitionStats {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                // Per-peer ghost counts: each ghost belongs to exactly one
+                // other shard.
+                let mut peer_ghosts = vec![0u64; self.num_shards()];
+                for &gv in &shard.ghosts {
+                    peer_ghosts[self.owner_of(gv)] += 1;
+                }
+                // Border arcs: owned-row endpoints that are ghosts, counted
+                // per owning peer (arc multiplicity, unlike the deduped
+                // ghost table).
+                let num_owned = shard.num_owned();
+                let mut peer_arcs = vec![0u64; self.num_shards()];
+                let mut border_arcs = 0u64;
+                for l in 0..num_owned {
+                    for &lu in shard.csr.neighbors(l as u32) {
+                        if lu as usize >= num_owned {
+                            let gv = shard.ghosts[lu as usize - num_owned];
+                            peer_arcs[self.owner_of(gv)] += 1;
+                            border_arcs += 1;
+                        }
+                    }
+                }
+                let peers = (0..self.num_shards())
+                    .filter(|&p| peer_ghosts[p] > 0)
+                    .map(|p| PeerStats {
+                        peer: p,
+                        ghosts: peer_ghosts[p],
+                        border_arcs: peer_arcs[p],
+                    })
+                    .collect();
+                ShardStats {
+                    shard: s,
+                    owned: shard.num_owned() as u64,
+                    ghosts: shard.ghosts.len() as u64,
+                    owned_arcs: shard.owned_arcs,
+                    border_arcs,
+                    peers,
+                }
+            })
+            .collect::<Vec<_>>();
+        PartitionStats {
+            strategy: self.strategy.name(),
+            num_shards: self.num_shards(),
+            total_ghosts: shards.iter().map(|s: &ShardStats| s.ghosts).sum(),
+            total_border_arcs: shards.iter().map(|s| s.border_arcs).sum(),
+            shards,
+        }
+    }
+}
+
+/// Output of [`Partition::stats`]: the static border topology of a
+/// partition, the denominator for the fleet exchange ledger.
+#[derive(Debug, Clone, Serialize)]
+pub struct PartitionStats {
+    /// Strategy name (`"balanced"` / `"degree"`).
+    pub strategy: &'static str,
+    /// Shard count.
+    pub num_shards: usize,
+    /// Σ per-shard ghost-table sizes.
+    pub total_ghosts: u64,
+    /// Σ per-shard border arcs (owned→ghost endpoints).
+    pub total_border_arcs: u64,
+    /// Per-shard breakdowns, index order.
+    pub shards: Vec<ShardStats>,
+}
+
+/// One shard's border structure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Owned vertices.
+    pub owned: u64,
+    /// Ghost-table size.
+    pub ghosts: u64,
+    /// Directed arcs sourced at owned vertices.
+    pub owned_arcs: u64,
+    /// Owned-row endpoints that land on ghosts.
+    pub border_arcs: u64,
+    /// Per-peer ghost/border-arc counts, ascending peer index, peers with
+    /// at least one ghost only.
+    pub peers: Vec<PeerStats>,
+}
+
+/// Ghost/border-arc counts against one peer shard.
+#[derive(Debug, Clone, Serialize)]
+pub struct PeerStats {
+    /// Peer shard index (the owner of these ghosts).
+    pub peer: usize,
+    /// Ghosts of this shard owned by `peer`.
+    pub ghosts: u64,
+    /// Border arcs from this shard's owned rows into `peer`'s vertices.
+    pub border_arcs: u64,
 }
 
 /// Builds one shard: ghost discovery + local-ID CSR recode.
@@ -488,6 +593,52 @@ mod tests {
             let l = part.local_id[v as usize] as usize;
             assert_eq!(part.shards[s].owned[l], v);
         }
+    }
+
+    #[test]
+    fn stats_tile_the_border_structure() {
+        let g = gen::power_law_hubs(1_000, 3_000, 3, 0.2, 9);
+        for strategy in STRATEGIES {
+            let part = Partition::build(&g, 4, strategy);
+            let stats = part.stats();
+            assert_eq!(stats.num_shards, 4);
+            assert_eq!(stats.strategy, strategy.name());
+            for (s, shard) in part.shards.iter().enumerate() {
+                let st = &stats.shards[s];
+                assert_eq!(st.owned, shard.num_owned() as u64);
+                assert_eq!(st.ghosts, shard.ghosts.len() as u64);
+                assert_eq!(st.owned_arcs, shard.owned_arcs);
+                // peer breakdowns tile the shard totals
+                assert_eq!(st.peers.iter().map(|p| p.ghosts).sum::<u64>(), st.ghosts);
+                assert_eq!(
+                    st.peers.iter().map(|p| p.border_arcs).sum::<u64>(),
+                    st.border_arcs
+                );
+                // no shard is its own peer
+                assert!(st.peers.iter().all(|p| p.peer != s));
+            }
+            assert_eq!(
+                stats.total_ghosts,
+                part.shards.iter().map(|s| s.ghosts.len() as u64).sum()
+            );
+            // border arcs are symmetric in aggregate: every owned→ghost arc
+            // on shard A into B has a mirror owned→ghost arc on B into A
+            // (the graph is symmetric), so per-pair counts must match.
+            for a in 0..4usize {
+                for pa in &stats.shards[a].peers {
+                    let mirror = stats.shards[pa.peer]
+                        .peers
+                        .iter()
+                        .find(|p| p.peer == a)
+                        .expect("peer relation is symmetric");
+                    assert_eq!(mirror.border_arcs, pa.border_arcs);
+                }
+            }
+        }
+        // single shard: no borders at all
+        let solo = Partition::build(&g, 1, PartitionStrategy::BalancedArcs).stats();
+        assert_eq!(solo.total_ghosts, 0);
+        assert_eq!(solo.total_border_arcs, 0);
     }
 
     #[test]

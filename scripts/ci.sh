@@ -107,6 +107,27 @@ fi
 rm -rf "$dyn_results"
 echo "dynamic smoke OK"
 
+echo "== fleet observability smoke (exchange ledger + merged export) =="
+# --check runs the sharded decomposition at p=2/4 with the fleet ledger
+# armed and asserts the ledger replays the charged time bit-exactly, every
+# exchange flow references a real pack/apply launch record, per-round
+# critical-path shares sum to 1.0, and the trace survives a round trip
+# through regress::parse_json. Observability only: the measured runs are
+# bit-identical to decompose_multi.
+fleet_results="$(mktemp -d)"
+KCORE_SMOKE=1 KCORE_DATASETS=amazon0601,wiki-Talk KCORE_CACHE_DIR="$cache_dir" \
+  KCORE_RESULTS_DIR="$fleet_results" ./target/release/fleetreport --check > /dev/null
+if [[ ! -s "$fleet_results/table_fleet.json" ]]; then
+  echo "ERROR: fleetreport did not write table_fleet.json" >&2
+  exit 1
+fi
+if [[ ! -s "$fleet_results/table_fleet.txt" ]]; then
+  echo "ERROR: fleetreport did not write table_fleet.txt" >&2
+  exit 1
+fi
+rm -rf "$fleet_results"
+echo "fleetreport smoke OK"
+
 echo "== hostprof smoke (wall-clock attribution coverage) =="
 # --check sweeps the ablation variants with a wall-clock profiler per run
 # and asserts every profile parses under the current hostprof schema, that

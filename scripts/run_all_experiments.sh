@@ -29,6 +29,11 @@ done
 echo "== table_scale =="
 ./target/release/table_scale | tee "results/table_scale.txt"
 
+# Fleet observability report (exchange ledger, per-shard rollups, per-round
+# critical path across the sharded runs). Writes results/table_fleet.{json,txt}.
+echo "== fleetreport =="
+./target/release/fleetreport > /dev/null   # writes results/table_fleet.{json,txt} itself
+
 # Full-scale P100 capacity report (memstats extrapolation; predicted-OOM
 # cells must line up with the N/A cells of tables 3 and 5).
 echo "== memreport =="
